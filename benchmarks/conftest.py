@@ -1,0 +1,38 @@
+"""Benchmark fixtures: evaluation fields at benchmark scale.
+
+Benchmark shapes are the dataset defaults (paper dims scaled ~6-8x per axis,
+DESIGN.md §4); every harness prints a paper-shaped table in addition to the
+pytest-benchmark timing entry so the regenerated artifact is visible in the
+run log.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASETS, load
+
+#: Table 4 / Fig. 8 / Fig. 10 evaluation grid
+EVAL_EBS = (1e-2, 1e-3, 1e-4)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20250613)
+
+
+@pytest.fixture(scope="session")
+def eval_fields() -> dict[str, np.ndarray]:
+    """One field per paper dataset at default (scaled-down) shape."""
+    return {name: load(name, seed=0) for name in DATASETS}
+
+
+@pytest.fixture(scope="session")
+def nyx_field(eval_fields):
+    return eval_fields["nyx"]
+
+
+@pytest.fixture(scope="session")
+def miranda_field(eval_fields):
+    return eval_fields["miranda"]

@@ -1,0 +1,115 @@
+"""Design-choice ablation benches (DESIGN.md §2, beyond the paper's Table 5).
+
+The paper justifies several constants prose-only; these benches measure them
+so the justification is reproducible:
+
+* §5.1.1 anchor stride: 16 balances anchor storage vs prediction reach;
+* §5.1.2 spline family: cubic beats linear on smooth data, loses on noise;
+* Huffman chunk size: offsets overhead vs decode parallelism;
+* §5.2.1 one-byte codes: uint8 folding vs a 16-bit code path;
+* auto-tune sampling rate: 0.2 % matches the full-data decision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core.compressor import CuszHi, resolve_error_bound
+from repro.core.config import CuszHiConfig
+from repro.encoders.huffman import HuffmanCodec
+from repro.predictor.autotune import autotune_levels
+from repro.predictor.interpolation import InterpolationPredictor, LevelConfig
+
+EB = 1e-3
+
+
+class TestAnchorStride:
+    @pytest.fixture(scope="class")
+    def stride_crs(self, miranda_field):
+        out = {}
+        for stride in (4, 8, 16, 32):
+            comp = CuszHi(config=CuszHiConfig(anchor_stride=stride))
+            out[stride] = comp.compress(miranda_field, EB).compression_ratio
+        return out
+
+    def test_print(self, stride_crs):
+        rows = [[str(s), f"{cr:.2f}"] for s, cr in stride_crs.items()]
+        print()
+        print(format_table(["anchor stride", "CR"], rows,
+                           title=f"anchor-stride ablation (miranda, eb={EB})"))
+
+    def test_16_dominates_8(self, stride_crs):
+        """The paper's partition change (8 -> 16) must not lose ratio."""
+        assert stride_crs[16] >= stride_crs[8] * 0.98
+
+    def test_4_pays_anchor_tax(self, stride_crs):
+        """Stride 4 stores 64x more anchors than 16 — ratio must suffer."""
+        assert stride_crs[4] < stride_crs[16]
+
+
+class TestSplineChoice:
+    def test_cubic_wins_smooth_linear_wins_noise(self, miranda_field, rng):
+        noise = rng.standard_normal(miranda_field.shape).astype(np.float32)
+        results = {}
+        for name, field in (("smooth", miranda_field), ("noise", noise)):
+            abs_eb = resolve_error_bound(field, 1e-2, "rel")
+            pred = InterpolationPredictor(16)
+            errs = {
+                spline: sum(
+                    pred.pass_error(field, s, LevelConfig("md", spline)) for s in (2, 1)
+                )
+                for spline in ("linear", "cubic")
+            }
+            results[name] = errs
+        print()
+        rows = [[k, f"{v['linear']:.3g}", f"{v['cubic']:.3g}"] for k, v in results.items()]
+        print(format_table(["data", "linear err", "cubic err"], rows,
+                           title="spline-family ablation (sum |pred err|, fine levels)"))
+        assert results["smooth"]["cubic"] < results["smooth"]["linear"]
+        assert results["noise"]["linear"] < results["noise"]["cubic"]
+
+
+class TestHuffmanChunkSize:
+    @pytest.fixture(scope="class")
+    def payload(self, nyx_field):
+        abs_eb = resolve_error_bound(nyx_field, EB, "rel")
+        res = InterpolationPredictor(16).compress(nyx_field, abs_eb)
+        return res.codes.reshape(-1).tobytes()
+
+    def test_offset_overhead_vs_chunk(self, payload):
+        sizes = {}
+        for chunk in (256, 1024, 4096, 16384):
+            codec = HuffmanCodec(chunk_size=chunk)
+            enc = codec.encode(payload)
+            assert codec.decode(enc) == payload
+            sizes[chunk] = len(enc)
+        rows = [[str(c), str(s), f"{8*s/len(payload):.4f}"] for c, s in sizes.items()]
+        print()
+        print(format_table(["chunk", "bytes", "bits/sym"], rows,
+                           title="Huffman chunk-size ablation (nyx codes)"))
+        # Smaller chunks cost more offset metadata, monotonically.
+        assert sizes[256] >= sizes[1024] >= sizes[4096]
+
+    def test_default_near_optimal(self, payload):
+        default = len(HuffmanCodec().encode(payload))
+        best = min(len(HuffmanCodec(chunk_size=c).encode(payload)) for c in (4096, 16384, 65536))
+        # The default 4096 chunk trades <=5% size for 16x decode parallelism
+        # over the largest chunk (§5.2, the cuSZ coarse-grained scheme).
+        assert default <= best * 1.05
+
+
+class TestSamplingRate:
+    def test_0p2_percent_matches_full_decision(self, miranda_field):
+        """Auto-tune at the paper's 0.2 % sample must pick the same per-level
+        configs as a 10x larger sample on well-behaved data (or at worst cost
+        ~2 % ratio)."""
+        lean = autotune_levels(miranda_field, 16, target_fraction=0.002)
+        rich = autotune_levels(miranda_field, 16, target_fraction=0.02)
+        agree = sum(lean[s] == rich[s] for s in lean)
+        if agree < len(lean):
+            cr_lean = CuszHi(config=CuszHiConfig()).compress(miranda_field, EB).compression_ratio
+            comp_rich = CuszHi(config=CuszHiConfig(sample_fraction=0.02))
+            cr_rich = comp_rich.compress(miranda_field, EB).compression_ratio
+            assert cr_lean >= 0.98 * cr_rich

@@ -1,0 +1,116 @@
+"""Fig. 10: compression / decompression throughput on both testbed GPUs.
+
+Regenerates the speed assessment from the roofline model over the measured
+kernel schedules: every compressor, all six datasets, three error bounds,
+both devices (A100, RTX 6000 Ada).  The assertions encode the paper's
+qualitative findings (§6.2.4):
+
+* throughput-oriented cuSZp2 / FZ-GPU lead;
+* cuSZ-Hi-TP is consistently faster than cuSZ-I(B) and cuSZ-Hi-CR;
+* cuSZ-Hi-CR stays within ~2x of cuSZ-I(B) (the 'comparable' claim);
+* the A100's higher memory bandwidth yields higher throughput than the Ada
+  for the bandwidth-bound compressors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import EVAL_ORDER, format_table, run_case
+from repro.gpu.device import A100_SXM_80GB, RTX_6000_ADA
+
+from .conftest import EVAL_EBS
+
+DEVICES = (A100_SXM_80GB, RTX_6000_ADA)
+
+
+@pytest.fixture(scope="module")
+def speeds(eval_fields):
+    """{(dataset, eb, compressor): CaseResult} over the full grid.
+
+    Throughput is evaluated at the paper's file sizes (``scale``) so launch
+    overhead amortizes as it does on the real testbed.
+    """
+    import numpy as np
+
+    from repro.datasets import DATASETS
+
+    out = {}
+    for ds, data in eval_fields.items():
+        if ds in ("hurricane", "scale-letkf"):
+            continue  # Fig. 10 covers the six Table 3 datasets
+        scale = float(np.prod(DATASETS[ds].paper_dims)) / data.size
+        for eb in EVAL_EBS:
+            for name in EVAL_ORDER:
+                out[(ds, eb, name)] = run_case(name, data, eb, devices=DEVICES, scale=scale)
+    return out
+
+
+def test_print_fig10(speeds):
+    for dev in DEVICES:
+        rows = []
+        for (ds, eb, name), r in sorted(speeds.items()):
+            rows.append(
+                [ds, f"{eb:.0e}", name,
+                 f"{r.comp_gibs[dev.name]:.1f}", f"{r.decomp_gibs[dev.name]:.1f}"]
+            )
+        print()
+        print(
+            format_table(
+                ["dataset", "eb", "compressor", "comp GiB/s", "decomp GiB/s"],
+                rows,
+                title=f"Fig. 10 — modeled kernel throughput on {dev.name}",
+            )
+        )
+
+
+def _mean_tp(speeds, name, dev, phase="comp"):
+    vals = [
+        (r.comp_gibs if phase == "comp" else r.decomp_gibs)[dev.name]
+        for (ds, eb, n), r in speeds.items()
+        if n == name
+    ]
+    return sum(vals) / len(vals)
+
+
+@pytest.mark.parametrize("dev", DEVICES, ids=lambda d: d.name)
+def test_throughput_oriented_lead(speeds, dev):
+    fast = min(_mean_tp(speeds, "cuszp2", dev), _mean_tp(speeds, "fzgpu", dev))
+    slow = max(_mean_tp(speeds, "cusz-hi-cr", dev), _mean_tp(speeds, "cusz-i", dev))
+    assert fast > slow
+
+
+@pytest.mark.parametrize("dev", DEVICES, ids=lambda d: d.name)
+def test_tp_mode_faster_than_interp_huffman(speeds, dev):
+    tp = _mean_tp(speeds, "cusz-hi-tp", dev)
+    assert tp > _mean_tp(speeds, "cusz-hi-cr", dev)
+    assert tp > _mean_tp(speeds, "cusz-i", dev)
+    assert tp > _mean_tp(speeds, "cusz-ib", dev)
+
+
+@pytest.mark.parametrize("dev", DEVICES, ids=lambda d: d.name)
+def test_cr_mode_comparable_to_cusz_i(speeds, dev):
+    """Paper: cuSZ-Hi-CR overhead vs cuSZ-I(B) is bounded (~25%); allow 2x."""
+    cr = _mean_tp(speeds, "cusz-hi-cr", dev)
+    ib = _mean_tp(speeds, "cusz-ib", dev)
+    assert cr > 0.5 * ib
+
+
+def test_a100_faster_for_bandwidth_bound(speeds):
+    """A100 HBM (2 TB/s) vs Ada GDDR (1 TB/s): streaming compressors gain."""
+    for name in ("cuszp2", "fzgpu", "cusz-l"):
+        assert _mean_tp(speeds, name, A100_SXM_80GB) > _mean_tp(speeds, name, RTX_6000_ADA)
+
+
+def test_decompression_orderings(speeds):
+    for dev in DEVICES:
+        assert _mean_tp(speeds, "cuszp2", dev, "decomp") > _mean_tp(speeds, "cusz-hi-cr", dev, "decomp")
+        assert _mean_tp(speeds, "cusz-hi-tp", dev, "decomp") > _mean_tp(speeds, "cusz-hi-cr", dev, "decomp")
+
+
+def test_benchmark_wallclock_tp_mode(benchmark, eval_fields):
+    """Real wall-clock of the NumPy implementation (not the GPU model)."""
+    from repro.core.compressor import CuszHi
+
+    comp = CuszHi(mode="tp")
+    benchmark(lambda: comp.compress(eval_fields["nyx"], 1e-3))

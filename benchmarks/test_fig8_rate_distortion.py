@@ -1,0 +1,102 @@
+"""Fig. 8: rate-distortion assessment (PSNR vs bitrate) on all six datasets.
+
+Sweeps error bounds for the fixed-eb compressors and rates for cuZFP, prints
+the curves, and asserts the paper's dominance relations in the high-ratio
+(low-bitrate) region the zoomed panels highlight:
+
+* cuSZ-Hi-CR delivers the best (or tied-best) PSNR at matched low bitrates;
+* cuSZ-Hi-TP stays close to CR mode and beats cuSZ-IB in many cases;
+* the Lorenzo / offset / transform baselines trail by a wide margin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, rd_curve, rd_curve_zfp
+
+RD_COMPRESSORS = ("cusz-hi-cr", "cusz-hi-tp", "cusz-ib", "cusz-l", "cuszp2")
+RD_EBS = (1e-2, 3e-3, 1e-3, 3e-4, 1e-4)
+RD_DATASETS = ("cesm-atm", "jhtdb", "miranda", "nyx", "qmcpack", "rtm")
+
+
+@pytest.fixture(scope="module")
+def curves(eval_fields):
+    out = {}
+    for ds in RD_DATASETS:
+        data = eval_fields[ds]
+        per = {name: rd_curve(name, data, ebs=RD_EBS) for name in RD_COMPRESSORS}
+        per["cuzfp"] = rd_curve_zfp(data, rates=(2.0, 4.0, 8.0, 12.0))
+        out[ds] = per
+    return out
+
+
+def test_print_fig8(curves):
+    for ds, per in curves.items():
+        rows = []
+        for name, curve in per.items():
+            for p in curve.points:
+                rows.append([name, f"{p.control:g}", f"{p.bitrate:.3f}", f"{p.psnr:.1f}"])
+        print()
+        print(
+            format_table(
+                ["compressor", "eb|rate", "bitrate", "PSNR"],
+                rows,
+                title=f"Fig. 8 — rate-distortion on {ds}",
+            )
+        )
+
+
+def _low_bitrate_probe(per) -> float:
+    """A bitrate inside the zoomed low-rate region: the median of cuSZ-Hi-CR
+    curve bitrates, clipped into every curve's observed span."""
+    return float(np.median(per["cusz-hi-cr"].bitrates()))
+
+
+def test_hi_cr_dominates_low_bitrate(curves):
+    """At the probe bitrate, cuSZ-Hi-CR's PSNR beats every baseline curve on
+    a clear majority of datasets (paper: best on most PSNR targets)."""
+    wins_all = 0
+    for ds, per in curves.items():
+        probe = _low_bitrate_probe(per)
+        hi = per["cusz-hi-cr"].psnr_at_bitrate(probe)
+        beats = all(
+            hi >= per[b].psnr_at_bitrate(probe) - 0.5
+            for b in ("cusz-ib", "cusz-l", "cuszp2", "cuzfp")
+        )
+        wins_all += beats
+    assert wins_all >= len(curves) - 1, f"dominated on only {wins_all} datasets"
+
+
+def test_tp_mode_close_to_cr(curves):
+    """cuSZ-Hi-TP tracks CR mode within a few dB at matched bitrate."""
+    for ds, per in curves.items():
+        probe = _low_bitrate_probe(per)
+        gap = per["cusz-hi-cr"].psnr_at_bitrate(probe) - per["cusz-hi-tp"].psnr_at_bitrate(probe)
+        assert gap < 8.0, (ds, gap)
+
+
+def test_curves_monotone(curves):
+    """More bits must not reduce PSNR along any single curve."""
+    for ds, per in curves.items():
+        for name, curve in per.items():
+            br = curve.bitrates()
+            ps = curve.psnrs()
+            order = np.argsort(br)
+            diffs = np.diff(ps[order])
+            assert (diffs > -1.0).all(), (ds, name)  # allow tiny local noise
+
+
+def test_transform_baseline_trails(curves):
+    """cuZFP (fixed-rate, dense-plane surrogate) must trail cuSZ-Hi-CR at
+    matched bitrate everywhere."""
+    for ds, per in curves.items():
+        probe = _low_bitrate_probe(per)
+        assert per["cusz-hi-cr"].psnr_at_bitrate(probe) > per["cuzfp"].psnr_at_bitrate(probe), ds
+
+
+def test_benchmark_rd_point(benchmark, eval_fields):
+    from repro.analysis import run_case
+
+    benchmark(lambda: run_case("cusz-hi-tp", eval_fields["jhtdb"], 1e-3))

@@ -1,0 +1,132 @@
+"""Fig. 9: fixed-CR visual quality on JHTDB and RTM snapshots.
+
+The paper compares reconstructions at matched compression ratio (~144 for
+JHTDB #2500, ~132 for RTM #3600): cuSZ-Hi keeps the structure while cuSZ-IB,
+cuSZ-L and cuZFP show artifacts.  Without a figure pipeline we quantify the
+same comparison on the 2-D slices the paper shows: slice PSNR, SSIM and the
+high-frequency artifact score, all at CR matched within ~15 % by bisecting
+each compressor's control knob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, make_compressor, slice_report
+from repro.analysis.visualization import take_slice
+from repro.baselines import CuZfp
+from repro.metrics import psnr
+
+TARGETS = {"jhtdb": 60.0, "rtm": 60.0}  # target CR per dataset (scaled-down data)
+MATCH_TOL = 0.20
+
+
+def _match_cr_fixed_eb(name: str, data: np.ndarray, target: float):
+    """Bisect the relative error bound until the CR lands near target."""
+    lo, hi = 1e-5, 0.3
+    blob = None
+    for _ in range(28):
+        mid = np.sqrt(lo * hi)
+        comp = make_compressor(name)
+        blob = comp.compress(data, mid)
+        cr = blob.compression_ratio
+        if abs(cr - target) / target < 0.02:
+            break
+        if cr < target:
+            lo = mid
+        else:
+            hi = mid
+    comp = make_compressor(name)
+    blob = comp.compress(data, float(np.sqrt(lo * hi)))
+    return blob, comp.decompress(blob)
+
+
+def _match_cr_zfp(data: np.ndarray, target: float):
+    rate = 32.0 / target
+    comp = CuZfp(rate=max(rate, 0.6))
+    blob = comp.compress(data)
+    return blob, comp.decompress(blob)
+
+
+@pytest.fixture(scope="module")
+def matched(eval_fields):
+    out = {}
+    for ds, target in TARGETS.items():
+        data = eval_fields[ds]
+        per = {}
+        for name in ("cusz-hi-cr", "cusz-hi-tp", "cusz-ib", "cusz-l"):
+            blob, recon = _match_cr_fixed_eb(name, data, target)
+            per[name] = (blob.compression_ratio, recon)
+        blob, recon = _match_cr_zfp(data, target)
+        per["cuzfp"] = (blob.compression_ratio, recon)
+        out[ds] = (data, per)
+    return out
+
+
+def test_print_fig9(matched):
+    for ds, (data, per) in matched.items():
+        rows = []
+        for name, (cr, recon) in per.items():
+            rep = slice_report(data, recon)
+            rows.append(
+                [
+                    name,
+                    f"{cr:.1f}",
+                    f"{psnr(data, recon):.1f}",
+                    f"{rep['slice_psnr']:.1f}",
+                    f"{rep['slice_ssim']:.3f}",
+                    f"{rep['artifact_score']:.2f}",
+                ]
+            )
+        print()
+        print(
+            format_table(
+                ["compressor", "CR", "PSNR", "slice PSNR", "slice SSIM", "artifact"],
+                rows,
+                title=f"Fig. 9 — quality at matched CR~{TARGETS[ds]:.0f} on {ds}",
+            )
+        )
+
+
+def test_crs_matched(matched):
+    for ds, (_, per) in matched.items():
+        for name, (cr, _) in per.items():
+            if name in ("cuzfp", "cusz-l"):
+                # cuZFP's CR is set analytically by the rate; cuSZ-L cannot
+                # reach the target at all — in the paper's Fig. 9 it appears
+                # at CR 29.9 while everything else sits near 145.
+                continue
+            assert abs(cr - TARGETS[ds]) / TARGETS[ds] < MATCH_TOL, (ds, name, cr)
+
+
+def test_cusz_l_saturates_below_target(matched):
+    """cuSZ-L's ratio ceiling (paper Fig. 9: 29.9 vs ~145) reproduces: the
+    bisection tops out well under the target CR."""
+    for ds, (_, per) in matched.items():
+        assert per["cusz-l"][0] < 0.9 * TARGETS[ds], (ds, per["cusz-l"][0])
+
+
+def test_hi_best_quality_at_matched_cr(matched):
+    """Paper: cuSZ-Hi shows the best visualization quality at the same CR."""
+    for ds, (data, per) in matched.items():
+        hi = psnr(data, per["cusz-hi-cr"][1])
+        for base in ("cusz-ib", "cusz-l", "cuzfp"):
+            assert hi > psnr(data, per[base][1]) - 0.2, (ds, base)
+
+
+def test_hi_ssim_beats_lorenzo_and_zfp(matched):
+    for ds, (data, per) in matched.items():
+        o = take_slice(data)
+        from repro.metrics import ssim2d
+
+        hi = ssim2d(o, take_slice(per["cusz-hi-cr"][1]))
+        for base in ("cusz-l", "cuzfp"):
+            assert hi >= ssim2d(o, take_slice(per[base][1])) - 1e-3, (ds, base)
+
+
+def test_benchmark_slice_report(benchmark, eval_fields):
+    data = eval_fields["rtm"]
+    comp = make_compressor("cusz-hi-cr")
+    recon = comp.decompress(comp.compress(data, 1e-2))
+    benchmark(lambda: slice_report(data, recon))

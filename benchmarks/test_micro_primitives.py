@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the computational primitives (pytest-benchmark).
+
+Not a paper artifact — these time the NumPy kernels themselves so a
+performance regression in the chunk-parallel codecs or the interpolation
+passes is caught by ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import resolve_error_bound
+from repro.encoders.ans import RansCodec
+from repro.encoders.components import BIT, RRE, RZE, TCMS
+from repro.encoders.huffman import HuffmanCodec
+from repro.predictor.interpolation import InterpolationPredictor
+from repro.predictor.lorenzo import lorenzo_decode, lorenzo_encode
+from repro.predictor.reorder import reorder_permutation
+
+
+@pytest.fixture(scope="module")
+def codes_1mb(nyx_field):
+    abs_eb = resolve_error_bound(nyx_field, 1e-3, "rel")
+    res = InterpolationPredictor(16).compress(nyx_field, abs_eb)
+    return res.codes.reshape(-1).tobytes()
+
+
+class TestEntropyCoders:
+    def test_huffman_encode(self, benchmark, codes_1mb):
+        codec = HuffmanCodec()
+        benchmark(lambda: codec.encode(codes_1mb))
+
+    def test_huffman_decode(self, benchmark, codes_1mb):
+        codec = HuffmanCodec()
+        enc = codec.encode(codes_1mb)
+        out = benchmark(lambda: codec.decode(enc))
+        assert out == codes_1mb
+
+    def test_rans_encode(self, benchmark, codes_1mb):
+        codec = RansCodec()
+        benchmark(lambda: codec.encode(codes_1mb))
+
+    def test_rans_decode(self, benchmark, codes_1mb):
+        codec = RansCodec()
+        enc = codec.encode(codes_1mb)
+        out = benchmark(lambda: codec.decode(enc))
+        assert out == codes_1mb
+
+
+class TestComponents:
+    @pytest.mark.parametrize("comp", [TCMS(1), BIT(1), RRE(1), RZE(1)], ids=lambda c: c.name)
+    def test_component_encode(self, benchmark, comp, codes_1mb):
+        benchmark(lambda: comp.encode(codes_1mb))
+
+
+class TestPredictors:
+    def test_interpolation_compress(self, benchmark, nyx_field):
+        pred = InterpolationPredictor(16)
+        abs_eb = resolve_error_bound(nyx_field, 1e-3, "rel")
+        benchmark(lambda: pred.compress(nyx_field, abs_eb))
+
+    def test_interpolation_decompress(self, benchmark, nyx_field):
+        pred = InterpolationPredictor(16)
+        abs_eb = resolve_error_bound(nyx_field, 1e-3, "rel")
+        res = pred.compress(nyx_field, abs_eb)
+        benchmark(
+            lambda: pred.decompress(
+                res.codes, res.anchors, res.outlier_values, nyx_field.shape,
+                abs_eb, res.level_configs, nyx_field.dtype,
+            )
+        )
+
+    def test_lorenzo_roundtrip(self, benchmark, nyx_field):
+        abs_eb = resolve_error_bound(nyx_field, 1e-3, "rel")
+
+        def run():
+            res = lorenzo_encode(nyx_field, abs_eb)
+            return lorenzo_decode(res.residuals, nyx_field.shape, abs_eb, nyx_field.dtype,
+                                  res.outlier_pos, res.outlier_values)
+
+        out = benchmark(run)
+        assert np.abs(nyx_field.astype(np.float64) - out.astype(np.float64)).max() <= abs_eb
+
+    def test_reorder_permutation_build(self, benchmark, nyx_field):
+        import importlib
+
+        # The package re-exports the `reorder` *function* under the same
+        # name, so resolve the submodule explicitly.
+        reorder_mod = importlib.import_module("repro.predictor.reorder")
+
+        def build():
+            reorder_mod._PERM_CACHE.clear()
+            return reorder_permutation(nyx_field.shape, 16)
+
+        benchmark(build)

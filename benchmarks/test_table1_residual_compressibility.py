@@ -1,0 +1,79 @@
+"""Table 1: Bitcomp compression ratio on compressed outputs.
+
+The paper's motivating observation (§5.2): most existing compressors leave
+Bitcomp-recoverable redundancy in their output, while cuSZ-Hi's own output is
+nearly incompressible (CR ~1.0x).  We re-compress every compressor's full
+serialized stream (Nyx-like field, eb = 1e-2) with the Bitcomp surrogate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table, make_compressor
+from repro.encoders.bitcomp import BitcompCodec
+
+#: paper Table 1 reference values
+PAPER_TABLE1 = {
+    "cusz-hi-cr": 1.03,
+    "cusz-hi-tp": 1.06,
+    "cusz-i": 9.62,  # w/o Bitcomp
+    "cusz-l": 2.37,
+    "cuszp2": 3.33,
+    "fzgpu": 3.33,
+}
+
+EB = 1e-2
+
+
+@pytest.fixture(scope="module")
+def residual_ratios(nyx_field):
+    bc = BitcompCodec()
+    out = {}
+    for name in PAPER_TABLE1:
+        blob = make_compressor(name).compress(nyx_field, EB)
+        out[name] = bc.ratio_on(blob.to_bytes())
+    return out
+
+
+def test_print_table1(residual_ratios):
+    rows = [
+        [name, f"{ratio:.2f}", f"{PAPER_TABLE1[name]:.2f}"]
+        for name, ratio in residual_ratios.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["compressor", "Bitcomp CR on output (ours)", "paper"],
+            rows,
+            title=f"Table 1 — residual compressibility of compressed streams (nyx, eb={EB})",
+        )
+    )
+
+
+def test_cusz_hi_output_incompressible(residual_ratios):
+    """cuSZ-Hi streams must be nearly Bitcomp-incompressible (paper: ~1.0x)."""
+    assert residual_ratios["cusz-hi-cr"] < 1.25
+    assert residual_ratios["cusz-hi-tp"] < 1.45
+
+
+def test_cusz_i_leaves_most_redundancy(residual_ratios):
+    """cuSZ-I (Huffman only) must leave the most recoverable redundancy —
+    the reason cuSZ-IB bolts Bitcomp on (paper: 9.62x)."""
+    others = {k: v for k, v in residual_ratios.items() if k != "cusz-i"}
+    assert residual_ratios["cusz-i"] > max(others.values())
+    assert residual_ratios["cusz-i"] > 1.5
+
+
+def test_ordering_matches_paper(residual_ratios):
+    """Hi modes < Lorenzo/offset baselines < cuSZ-I."""
+    assert residual_ratios["cusz-hi-cr"] <= residual_ratios["cusz-hi-tp"] + 0.25
+    for baseline in ("cusz-l", "cuszp2", "fzgpu"):
+        assert residual_ratios[baseline] > residual_ratios["cusz-hi-cr"]
+
+
+def test_benchmark_bitcomp_pass(benchmark, nyx_field):
+    blob = make_compressor("cusz-i").compress(nyx_field, EB)
+    payload = blob.to_bytes()
+    bc = BitcompCodec()
+    benchmark(lambda: bc.encode(payload))

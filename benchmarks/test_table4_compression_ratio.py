@@ -1,0 +1,122 @@
+"""Table 4: fixed-error-bound compression ratios.
+
+Regenerates the paper's main table — 6 datasets x 3 relative error bounds x
+7 fixed-eb compressors — and asserts the headline claims:
+
+* cuSZ-Hi (one of its two modes) posts the best CR in the large-bound rows;
+* the open-source advantage over non-proprietary baselines is large;
+* at eb=1e-4 the advantage shrinks (the paper's negative rows).
+
+Absolute values differ from the paper (synthetic data, scaled dims); the
+printed table records ours next to the paper's for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import EVAL_ORDER, format_table, run_case
+
+from .conftest import EVAL_EBS
+
+#: paper Table 4 values (cuSZ-Hi-CR, cuSZ-Hi-TP, ..., fzgpu) for reference
+PAPER_TABLE4 = {
+    ("cesm-atm", 1e-2): (120.4, 210.7, 22.6, 17.5, 70.3, 19.2, 21.7),
+    ("cesm-atm", 1e-3): (37.7, 40.0, 17.4, 15.1, 30.1, 12.8, 13.0),
+    ("cesm-atm", 1e-4): (12.7, 13.2, 10.0, 10.0, 14.0, 7.9, 7.7),
+    ("jhtdb", 1e-2): (402.1, 364.2, 26.5, 29.2, 128.2, 14.3, 12.1),
+    ("jhtdb", 1e-3): (63.6, 47.5, 17.6, 25.2, 34.6, 9.8, 9.9),
+    ("jhtdb", 1e-4): (15.0, 12.0, 10.7, 13.3, 13.3, 5.0, 6.4),
+    ("miranda", 1e-2): (424.9, 520.9, 26.9, 28.3, 163.5, 30.4, 30.6),
+    ("miranda", 1e-3): (129.3, 118.0, 22.8, 26.1, 75.1, 16.6, 19.2),
+    ("miranda", 1e-4): (39.2, 37.0, 15.2, 19.4, 33.8, 10.1, 11.8),
+    ("nyx", 1e-2): (823.5, 837.1, 30.1, 29.5, 249.0, 28.1, 25.3),
+    ("nyx", 1e-3): (123.1, 88.5, 23.8, 27.9, 65.2, 17.3, 14.4),
+    ("nyx", 1e-4): (23.7, 17.4, 15.2, 18.7, 25.0, 8.4, 8.4),
+    ("qmcpack", 1e-2): (570.6, 497.5, 28.5, 29.2, 163.5, 23.6, 19.0),
+    ("qmcpack", 1e-3): (169.2, 135.1, 20.9, 27.6, 77.1, 13.3, 12.1),
+    ("qmcpack", 1e-4): (49.8, 41.9, 14.8, 22.5, 34.2, 7.3, 8.3),
+    ("rtm", 1e-2): (618.7, 775.1, 28.6, 28.6, 227.8, 44.2, 32.0),
+    ("rtm", 1e-3): (165.8, 146.3, 24.6, 27.2, 94.7, 23.6, 20.9),
+    ("rtm", 1e-4): (44.0, 38.2, 17.6, 21.4, 45.0, 12.6, 12.2),
+}
+
+
+@pytest.fixture(scope="module")
+def table4(eval_fields):
+    results: dict[tuple[str, float], dict[str, float]] = {}
+    for ds, data in eval_fields.items():
+        if ds in ("hurricane", "scale-letkf"):
+            continue  # Fig. 6-only datasets; Table 4 covers the Table 3 six
+        for eb in EVAL_EBS:
+            results[(ds, eb)] = {
+                name: run_case(name, data, eb).cr for name in EVAL_ORDER
+            }
+    return results
+
+
+def test_print_table4(table4):
+    rows = []
+    for (ds, eb), crs in sorted(table4.items()):
+        best_hi = max(crs["cusz-hi-cr"], crs["cusz-hi-tp"])
+        best_base = max(v for k, v in crs.items() if not k.startswith("cusz-hi"))
+        adv = 100.0 * (best_hi / best_base - 1.0)
+        paper = PAPER_TABLE4[(ds, eb)]
+        rows.append(
+            [ds, f"{eb:.0e}"]
+            + [f"{crs[n]:.1f}" for n in EVAL_ORDER]
+            + [f"{adv:+.0f}%", f"(paper {paper[0]:.0f}/{paper[4]:.0f})"]
+        )
+    print()
+    print(
+        format_table(
+            ["dataset", "eb", *EVAL_ORDER, "hi adv.", "paper hiCR/IB"],
+            rows,
+            title="Table 4 — fixed-eb compression ratios (ours vs paper reference)",
+        )
+    )
+
+
+def test_cusz_hi_wins_large_bounds(table4, eval_fields):
+    """Paper: cuSZ-Hi has the best CR in (almost) all 1e-2 / 1e-3 cases."""
+    wins = 0
+    cases = 0
+    for (ds, eb), crs in table4.items():
+        if eb >= 1e-3:
+            cases += 1
+            best_hi = max(crs["cusz-hi-cr"], crs["cusz-hi-tp"])
+            best_base = max(v for k, v in crs.items() if not k.startswith("cusz-hi"))
+            wins += best_hi >= best_base
+    assert wins >= cases - 1, f"cuSZ-Hi won only {wins}/{cases} large-bound cases"
+
+
+def test_open_source_advantage(table4):
+    """Paper: vs non-proprietary baselines (excl. cuSZ-IB) the advantage is
+    at least 2x at eb=1e-2 on every dataset."""
+    for (ds, eb), crs in table4.items():
+        if eb != 1e-2:
+            continue
+        best_hi = max(crs["cusz-hi-cr"], crs["cusz-hi-tp"])
+        best_open = max(crs["cusz-l"], crs["cusz-i"], crs["cuszp2"], crs["fzgpu"])
+        assert best_hi > 1.5 * best_open, (ds, best_hi, best_open)
+
+
+def test_advantage_shrinks_at_tight_bounds(table4):
+    """Paper: the relative advantage at 1e-4 is much smaller than at 1e-2
+    (a few rows even go negative against cuSZ-IB)."""
+    for ds in {k[0] for k in table4}:
+        def adv(eb):
+            crs = table4[(ds, eb)]
+            best_hi = max(crs["cusz-hi-cr"], crs["cusz-hi-tp"])
+            best_base = max(v for k, v in crs.items() if not k.startswith("cusz-hi"))
+            return best_hi / best_base
+        assert adv(1e-4) < adv(1e-2), ds
+
+
+def test_benchmark_compress_nyx(benchmark, nyx_field):
+    """pytest-benchmark hook: cuSZ-Hi-CR compression of the Nyx field."""
+    from repro.core.compressor import CuszHi
+
+    comp = CuszHi(mode="cr")
+    blob = benchmark(lambda: comp.compress(nyx_field, 1e-3))
+    assert blob.compression_ratio > 10

@@ -1,0 +1,103 @@
+"""Table 5: ablation study — cuSZ-IB to cuSZ-Hi-CR, one design at a time.
+
+Reproduces the paper's increment chain on the four datasets it uses (JHTDB,
+Miranda, Nyx, RTM) at eb = 1e-2 and 1e-3, asserting that the cumulative
+stack ends well ahead of the baseline and that the paper's strongest single
+increments are positive here too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ABLATION_STEPS, format_table, run_ablation
+
+ABLATION_DATASETS = ("jhtdb", "miranda", "nyx", "rtm")
+ABLATION_EBS = (1e-2, 1e-3)
+
+#: paper Table 5 cumulative multiples (cuSZ-IB -> cuSZ-Hi-CR)
+PAPER_FINAL_MULTIPLE = {
+    ("jhtdb", 1e-2): 3.14,
+    ("jhtdb", 1e-3): 1.84,
+    ("miranda", 1e-2): 2.60,
+    ("miranda", 1e-3): 1.72,
+    ("nyx", 1e-2): 3.31,
+    ("nyx", 1e-3): 1.89,
+    ("rtm", 1e-2): 2.72,
+    ("rtm", 1e-3): 1.75,
+}
+
+
+@pytest.fixture(scope="module")
+def ablation_rows(eval_fields):
+    rows = {}
+    for ds in ABLATION_DATASETS:
+        for eb in ABLATION_EBS:
+            rows[(ds, eb)] = run_ablation(ds, eval_fields[ds], eb)
+    return rows
+
+
+def test_print_table5(ablation_rows):
+    labels = [l for l, _ in ABLATION_STEPS]
+    out = []
+    for (ds, eb), row in sorted(ablation_rows.items()):
+        cum = row.cumulative()
+        out.append(
+            [ds, f"{eb:.0e}"]
+            + [f"{row.crs[l]:.1f} ({cum[l]:.2f}x)" for l in labels]
+            + [f"paper {PAPER_FINAL_MULTIPLE[(ds, eb)]:.2f}x"]
+        )
+    print()
+    print(
+        format_table(
+            ["dataset", "eb", *labels, "paper final"],
+            out,
+            title="Table 5 — ablation: CR (cumulative multiple over cuSZ-IB)",
+        )
+    )
+
+
+def test_full_stack_beats_baseline(ablation_rows):
+    """Every (dataset, eb): the complete cuSZ-Hi-CR out-compresses cuSZ-IB."""
+    for key, row in ablation_rows.items():
+        mult = row.cumulative()["cusz-hi-cr"]
+        assert mult > 1.1, (key, mult)
+
+
+def test_large_bound_gains_bigger(ablation_rows):
+    """Paper: the cumulative multiple is larger at 1e-2 than at 1e-3."""
+    for ds in ABLATION_DATASETS:
+        m2 = ablation_rows[(ds, 1e-2)].cumulative()["cusz-hi-cr"]
+        m3 = ablation_rows[(ds, 1e-3)].cumulative()["cusz-hi-cr"]
+        assert m2 > m3, (ds, m2, m3)
+
+
+def test_majority_of_increments_positive(ablation_rows):
+    """Each §5 design contributes on most workloads (every paper increment
+    is positive; we allow isolated small regressions on synthetic data)."""
+    positives = 0
+    total = 0
+    for row in ablation_rows.values():
+        for inc in row.increments().values():
+            total += 1
+            positives += inc > -1.0  # within noise of positive
+    assert positives >= 0.75 * total, f"only {positives}/{total} increments helped"
+
+
+def test_lossless_pipeline_increment_positive(ablation_rows):
+    """The final CR-pipeline swap (vs Huffman+Bitcomp) must help at 1e-3 on
+    most datasets — the paper's 25-45% step."""
+    helped = sum(
+        ablation_rows[(ds, 1e-3)].increments()["cusz-hi-cr"] > 0
+        for ds in ABLATION_DATASETS
+    )
+    assert helped >= 3
+
+
+def test_benchmark_ablation_single(benchmark, eval_fields):
+    from repro.core.compressor import CuszHi
+    from repro.analysis import ABLATION_STEPS
+
+    cfg = dict(ABLATION_STEPS)["+code reorder"]
+    comp = CuszHi(config=cfg)
+    benchmark(lambda: comp.compress(eval_fields["miranda"], 1e-3))

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Streaming RTM snapshots: in-situ compression of a time-evolving wavefield.
+
+Reverse-time migration writes a wavefield snapshot every few timesteps and
+reads them back in reverse order — the I/O pattern that motivates in-line
+compression (paper Table 3's RTM dataset has 37 snapshots).  This example:
+
+1. simulates a slowly evolving wavefield sequence;
+2. streams it through :class:`repro.core.StreamWriter` in plain and
+   temporal-delta modes, comparing archive sizes;
+3. reads the stream back and verifies the per-point bound frame by frame.
+
+Run:  python examples/seismic_rtm_streaming.py
+"""
+
+import numpy as np
+
+import repro
+from repro.core import StreamReader, StreamWriter
+
+SHAPE = (48, 48, 32)
+STEPS = 10
+EB = 1e-3
+
+# A wavefield sequence: the background is static, the wavefronts drift.
+base = repro.datasets.load("rtm", shape=SHAPE, seed=0)
+drift = repro.datasets.load("rtm", shape=SHAPE, seed=1)
+snapshots = [base + 0.015 * t * drift for t in range(STEPS)]
+
+results = {}
+for label, temporal in (("per-frame", False), ("temporal-delta", True)):
+    writer = StreamWriter(eb=EB, temporal=temporal)
+    for snap in snapshots:
+        writer.append(snap)
+    payload = writer.getvalue()
+    results[label] = (payload, writer.compression_ratio)
+    print(
+        f"{label:15s}: {STEPS} frames, {len(payload)/2**20:.2f} MiB, "
+        f"stream CR {writer.compression_ratio:.1f}"
+    )
+
+plain_size = len(results["per-frame"][0])
+delta_size = len(results["temporal-delta"][0])
+print(f"\ntemporal mode saves {100 * (1 - delta_size / plain_size):.0f}% "
+      f"on this {STEPS}-step sequence\n")
+
+# Read back and verify every frame against the stream's absolute bound.
+reader = StreamReader(results["temporal-delta"][0])
+abs_eb = EB * float(snapshots[0].max() - snapshots[0].min())
+worst = 0.0
+for t, frame in enumerate(reader):
+    err = float(np.abs(snapshots[t].astype(np.float64) - frame.astype(np.float64)).max())
+    worst = max(worst, err)
+    assert err <= abs_eb * 1.0000001, f"frame {t} violated the bound"
+print(f"all {STEPS} frames verified: worst per-point error {worst:.3e} <= bound {abs_eb:.3e}")
+
+# RTM reads snapshots *backwards* during imaging; random access costs one
+# sequential pass here (delta chains), so for reverse workloads prefer
+# per-frame mode:
+frames = StreamReader(results["per-frame"][0]).read_all()
+for t in range(STEPS - 1, -1, -1):
+    err = np.abs(snapshots[t] - frames[t]).max()
+    assert err <= abs_eb * 1.0000001
+print("reverse-order read of the per-frame stream verified as well.")

@@ -1,0 +1,92 @@
+"""repro — reproduction of cuSZ-Hi (SC 2025): "Boosting Scientific
+Error-Bounded Lossy Compression through Optimized Synergistic Lossy-Lossless
+Orchestration".
+
+Quickstart
+----------
+>>> import numpy as np, repro
+>>> field = repro.datasets.load("nyx", shape=(48, 48, 48))
+>>> blob = repro.compress(field, eb=1e-3)                 # cuSZ-Hi-CR mode
+>>> recon = repro.decompress(blob)
+>>> bool(np.max(np.abs(field - recon)) <= blob.error_bound)
+True
+>>> blob.compression_ratio > 5
+True
+
+The top-level helpers cover the common path; the subpackages expose the full
+system: ``repro.core`` (cuSZ-Hi engine + container), ``repro.predictor``
+(interpolation/Lorenzo/offset decomposition), ``repro.encoders`` (the
+lossless component zoo and pipelines), ``repro.baselines`` (cuSZ-L/I/IB,
+cuSZp2, cuZFP, FZ-GPU), ``repro.gpu`` (simulated device + roofline model),
+``repro.datasets``, ``repro.metrics``, and ``repro.analysis``.
+"""
+
+from __future__ import annotations
+
+import numpy as _np
+
+from . import analysis, baselines, core, datasets, encoders, gpu, metrics, predictor, quantizer
+from .core.compressor import CuszHi
+from .core.config import CR_MODE, TP_MODE, CuszHiConfig
+from .core.container import CompressedBlob, ContainerError
+from .core.registry import codec_class, codec_name, list_codecs
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compress",
+    "decompress",
+    "CuszHi",
+    "CuszHiConfig",
+    "CR_MODE",
+    "TP_MODE",
+    "CompressedBlob",
+    "ContainerError",
+    "list_codecs",
+    "codec_name",
+    "analysis",
+    "baselines",
+    "core",
+    "datasets",
+    "encoders",
+    "gpu",
+    "metrics",
+    "predictor",
+    "quantizer",
+]
+
+
+def compress(data, eb: float, mode: str = "cr", codec: str | None = None):
+    """Compress a float field under a value-range-relative error bound.
+
+    Parameters
+    ----------
+    data:
+        float32/float64 ndarray (1-D to 4-D).
+    eb:
+        value-range-relative error bound (paper convention; e.g. ``1e-3``).
+    mode:
+        ``"cr"`` (compression-ratio preferred) or ``"tp"`` (throughput
+        preferred) — the two cuSZ-Hi modes.
+    codec:
+        optionally a baseline name (``"cusz-l"``, ``"cusz-i"``, ``"cusz-ib"``,
+        ``"cuszp2"``, ``"fzgpu"``) instead of cuSZ-Hi.
+
+    Returns
+    -------
+    CompressedBlob
+        self-describing stream; ``blob.to_bytes()`` serializes it.
+    """
+    if codec is not None:
+        from .analysis.harness import make_compressor
+
+        return make_compressor(codec).compress(data, eb)
+    return CuszHi(mode=mode).compress(data, eb)
+
+
+def decompress(blob) -> "_np.ndarray":
+    """Decompress a :class:`CompressedBlob` or its serialized ``bytes``."""
+    if isinstance(blob, (bytes, bytearray, memoryview)):
+        blob = CompressedBlob.from_bytes(bytes(blob))
+    cls = codec_class(blob.codec)
+    return cls().decompress(blob)

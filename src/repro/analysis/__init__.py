@@ -1,0 +1,52 @@
+"""Evaluation harnesses regenerating the paper's tables and figures (§6)."""
+
+from .ablation import ABLATION_STEPS, AblationRow, run_ablation
+from .harness import (
+    COMPRESSOR_FACTORIES,
+    EVAL_ORDER,
+    CaseResult,
+    make_compressor,
+    run_case,
+    run_fixed_rate_case,
+)
+from .rate_distortion import (
+    DEFAULT_EB_SWEEP,
+    DEFAULT_RATE_SWEEP,
+    RDCurve,
+    RDPoint,
+    rd_curve,
+    rd_curve_zfp,
+)
+from .tables import format_float, format_table
+from .target_quality import QualityResult, compress_to_psnr, compress_to_ratio
+from .zchecker import format_report, full_report
+from .visualization import artifact_score, ascii_heatmap, slice_report, take_slice
+
+__all__ = [
+    "ABLATION_STEPS",
+    "AblationRow",
+    "run_ablation",
+    "COMPRESSOR_FACTORIES",
+    "EVAL_ORDER",
+    "CaseResult",
+    "make_compressor",
+    "run_case",
+    "run_fixed_rate_case",
+    "RDCurve",
+    "RDPoint",
+    "rd_curve",
+    "rd_curve_zfp",
+    "DEFAULT_EB_SWEEP",
+    "DEFAULT_RATE_SWEEP",
+    "format_table",
+    "format_float",
+    "compress_to_psnr",
+    "compress_to_ratio",
+    "QualityResult",
+    "full_report",
+    "format_report",
+    "artifact_score",
+    "ascii_heatmap",
+    "slice_report",
+    "take_slice",
+]

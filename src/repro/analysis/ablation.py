@@ -1,0 +1,70 @@
+"""Ablation harness for Table 5: cuSZ-IB -> cuSZ-Hi-CR one knob at a time.
+
+The paper stacks four increments onto cuSZ-IB, each isolating one §5
+contribution.  Because cuSZ-I(B) is literally a pinned configuration of the
+cuSZ-Hi engine here (see :mod:`repro.baselines.cusz_i`), the increments are
+single-field config changes, which is the strongest form of ablation — no
+code path differs except the feature under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.cusz_i import CUSZ_IB_CONFIG
+from ..core.compressor import CuszHi
+from ..core.config import CuszHiConfig
+from ..encoders.pipelines import CR_PIPELINE
+
+__all__ = ["ABLATION_STEPS", "AblationRow", "run_ablation"]
+
+#: (label, config) in Table 5 column order; each extends the previous.
+ABLATION_STEPS: tuple[tuple[str, CuszHiConfig], ...] = (
+    ("cusz-ib", CUSZ_IB_CONFIG),
+    ("+partition/anchor", CUSZ_IB_CONFIG.with_(anchor_stride=16)),
+    ("+code reorder", CUSZ_IB_CONFIG.with_(anchor_stride=16, reorder=True)),
+    (
+        "+md-interp/autotune",
+        CUSZ_IB_CONFIG.with_(anchor_stride=16, reorder=True, autotune=True),
+    ),
+    (
+        "cusz-hi-cr",
+        CUSZ_IB_CONFIG.with_(
+            anchor_stride=16, reorder=True, autotune=True, pipeline=CR_PIPELINE
+        ),
+    ),
+)
+
+
+@dataclass
+class AblationRow:
+    """Compression ratios across the increments for one (dataset, eb)."""
+
+    dataset: str
+    eb: float
+    crs: dict[str, float]
+
+    def increments(self) -> dict[str, float]:
+        """Step-over-step CR gains in percent (the arrows of Table 5)."""
+        labels = [lbl for lbl, _ in ABLATION_STEPS]
+        out = {}
+        for prev, cur in zip(labels, labels[1:]):
+            out[cur] = 100.0 * (self.crs[cur] / self.crs[prev] - 1.0)
+        return out
+
+    def cumulative(self) -> dict[str, float]:
+        """CR multiple over the cuSZ-IB baseline (the 'so far' values)."""
+        base = self.crs[ABLATION_STEPS[0][0]]
+        return {lbl: self.crs[lbl] / base for lbl, _ in ABLATION_STEPS}
+
+
+def run_ablation(dataset: str, data: np.ndarray, eb: float) -> AblationRow:
+    """Measure every ablation step on one field at one relative bound."""
+    crs = {}
+    for label, config in ABLATION_STEPS:
+        comp = CuszHi(config=config)
+        blob = comp.compress(data, eb)
+        crs[label] = blob.compression_ratio
+    return AblationRow(dataset=dataset, eb=eb, crs=crs)

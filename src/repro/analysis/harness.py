@@ -1,0 +1,132 @@
+"""Shared evaluation harness: one place that knows how to build every
+compressor in the paper's §6 line-up and measure one (dataset, eb) case.
+
+The benchmark files under ``benchmarks/`` are thin: they choose workloads and
+print paper-shaped tables; all mechanics live here so the examples and tests
+reuse identical code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..baselines import CuszI, CuszIB, CuszL, CuszP2, CuZfp, FzGpu
+from ..core.compressor import CuszHi
+from ..gpu.costmodel import throughput_gibs
+from ..gpu.device import DeviceSpec
+from ..metrics import max_abs_error, psnr
+
+__all__ = [
+    "COMPRESSOR_FACTORIES",
+    "EVAL_ORDER",
+    "make_compressor",
+    "CaseResult",
+    "run_case",
+    "run_fixed_rate_case",
+]
+
+#: §6.1.2 evaluation line-up (cuZFP is handled by rate, not eb)
+COMPRESSOR_FACTORIES: dict[str, Callable[[], object]] = {
+    "cusz-hi-cr": lambda: CuszHi(mode="cr"),
+    "cusz-hi-tp": lambda: CuszHi(mode="tp"),
+    "cusz-l": CuszL,
+    "cusz-i": CuszI,
+    "cusz-ib": CuszIB,
+    "cuszp2": CuszP2,
+    "fzgpu": FzGpu,
+}
+
+#: fixed-eb compressor column order of Table 4
+EVAL_ORDER = ("cusz-hi-cr", "cusz-hi-tp", "cusz-l", "cusz-i", "cusz-ib", "cuszp2", "fzgpu")
+
+
+def make_compressor(name: str):
+    try:
+        return COMPRESSOR_FACTORIES[name]()
+    except KeyError:
+        raise KeyError(f"unknown compressor {name!r}; known: {sorted(COMPRESSOR_FACTORIES)}") from None
+
+
+@dataclass
+class CaseResult:
+    """Everything measured for one (compressor, dataset, bound) case."""
+
+    compressor: str
+    eb: float  # relative bound as given (or rate for cuZFP)
+    abs_eb: float
+    cr: float
+    bitrate: float
+    psnr: float
+    max_err: float
+    comp_gibs: dict[str, float]  # per device name
+    decomp_gibs: dict[str, float]
+    blob_nbytes: int
+
+
+def run_case(
+    name: str,
+    data: np.ndarray,
+    eb: float,
+    devices: tuple[DeviceSpec, ...] = (),
+    scale: float = 1.0,
+) -> CaseResult:
+    """Compress + decompress one case and gather every §6.1.4 metric.
+
+    ``scale`` evaluates the throughput model at a ``scale``-times larger data
+    volume (pass ``paper_elements / data.size`` to report paper-scale GiB/s;
+    see :func:`repro.gpu.costmodel.throughput_gibs`).
+    """
+    comp = make_compressor(name)
+    blob = comp.compress(data, eb)
+    recon = comp.decompress(blob)
+    comp_tp = {}
+    dec_tp = {}
+    for dev in devices:
+        if comp.last_comp_trace is not None:
+            comp_tp[dev.name] = throughput_gibs(data.nbytes, comp.last_comp_trace, dev, scale)
+        if comp.last_decomp_trace is not None:
+            dec_tp[dev.name] = throughput_gibs(data.nbytes, comp.last_decomp_trace, dev, scale)
+    return CaseResult(
+        compressor=name,
+        eb=eb,
+        abs_eb=blob.error_bound,
+        cr=blob.compression_ratio,
+        bitrate=blob.bitrate,
+        psnr=psnr(data, recon),
+        max_err=max_abs_error(data, recon),
+        comp_gibs=comp_tp,
+        decomp_gibs=dec_tp,
+        blob_nbytes=blob.nbytes,
+    )
+
+
+def run_fixed_rate_case(
+    data: np.ndarray,
+    rate: float,
+    devices: tuple[DeviceSpec, ...] = (),
+    scale: float = 1.0,
+) -> CaseResult:
+    """cuZFP case at a fixed rate (it has no fixed-eb mode; §6.2.1)."""
+    comp = CuZfp(rate=rate)
+    blob = comp.compress(data)
+    recon = comp.decompress(blob)
+    comp_tp = {}
+    dec_tp = {}
+    for dev in devices:
+        comp_tp[dev.name] = throughput_gibs(data.nbytes, comp.last_comp_trace, dev, scale)
+        dec_tp[dev.name] = throughput_gibs(data.nbytes, comp.last_decomp_trace, dev, scale)
+    return CaseResult(
+        compressor="cuzfp",
+        eb=rate,
+        abs_eb=0.0,
+        cr=blob.compression_ratio,
+        bitrate=blob.bitrate,
+        psnr=psnr(data, recon),
+        max_err=max_abs_error(data, recon),
+        comp_gibs=comp_tp,
+        decomp_gibs=dec_tp,
+        blob_nbytes=blob.nbytes,
+    )

@@ -1,0 +1,64 @@
+"""Rate–distortion sweep harness (paper Fig. 8).
+
+Fixed-eb compressors sweep relative error bounds; cuZFP sweeps rates.  The
+output is a list of (bitrate, PSNR) points per compressor, ready to print as
+the paper's curves or to assert Pareto relations in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .harness import run_case, run_fixed_rate_case
+
+__all__ = ["RDPoint", "RDCurve", "rd_curve", "rd_curve_zfp", "DEFAULT_EB_SWEEP", "DEFAULT_RATE_SWEEP"]
+
+DEFAULT_EB_SWEEP = (1e-2, 5e-3, 2e-3, 1e-3, 5e-4, 2e-4, 1e-4)
+DEFAULT_RATE_SWEEP = (1.0, 2.0, 4.0, 8.0, 12.0, 16.0)
+
+
+@dataclass(frozen=True)
+class RDPoint:
+    control: float  # eb or rate
+    bitrate: float
+    psnr: float
+    cr: float
+
+
+@dataclass
+class RDCurve:
+    compressor: str
+    points: list[RDPoint] = field(default_factory=list)
+
+    def bitrates(self) -> np.ndarray:
+        return np.array([p.bitrate for p in self.points])
+
+    def psnrs(self) -> np.ndarray:
+        return np.array([p.psnr for p in self.points])
+
+    def psnr_at_bitrate(self, rate: float) -> float:
+        """Linear interpolation of PSNR at a bitrate (for curve comparison)."""
+        br = self.bitrates()
+        ps = self.psnrs()
+        order = np.argsort(br)
+        return float(np.interp(rate, br[order], ps[order]))
+
+
+def rd_curve(name: str, data: np.ndarray, ebs=DEFAULT_EB_SWEEP) -> RDCurve:
+    """Sweep relative error bounds for one fixed-eb compressor."""
+    curve = RDCurve(name)
+    for eb in ebs:
+        r = run_case(name, data, eb)
+        curve.points.append(RDPoint(eb, r.bitrate, r.psnr, r.cr))
+    return curve
+
+
+def rd_curve_zfp(data: np.ndarray, rates=DEFAULT_RATE_SWEEP) -> RDCurve:
+    """Sweep fixed rates for cuZFP."""
+    curve = RDCurve("cuzfp")
+    for rate in rates:
+        r = run_fixed_rate_case(data, rate)
+        curve.points.append(RDPoint(rate, r.bitrate, r.psnr, r.cr))
+    return curve

@@ -1,0 +1,29 @@
+"""Fixed-width table formatting for paper-shaped benchmark output."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(x: float, width: int = 8, prec: int = 1) -> str:
+    if x != x:  # NaN
+        return "-".rjust(width)
+    if x == float("inf"):
+        return "inf".rjust(width)
+    return f"{x:{width}.{prec}f}"
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str | None = None) -> str:
+    """Render rows as an aligned monospace table with a rule under headers."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Baseline GPU compressors evaluated against cuSZ-Hi (paper §6.1.2)."""
+
+from .cusz_i import CUSZ_I_CONFIG, CUSZ_IB_CONFIG, CuszI, CuszIB
+from .cusz_l import CuszL
+from .cuszp2 import CuszP2
+from .cuzfp import CuZfp
+from .fzgpu import FzGpu
+
+__all__ = [
+    "CuszL",
+    "CuszI",
+    "CuszIB",
+    "CUSZ_I_CONFIG",
+    "CUSZ_IB_CONFIG",
+    "CuszP2",
+    "CuZfp",
+    "FzGpu",
+]

@@ -1,0 +1,126 @@
+"""Command-line interface: compress / decompress / inspect raw fields.
+
+Usage::
+
+    repro-compress compress  INPUT.f32 -o out.rpz -d 512 512 512 --eb 1e-3
+    repro-compress decompress out.rpz -o recon.f32
+    repro-compress info      out.rpz
+    repro-compress bench     --dataset nyx --eb 1e-3
+
+Input files follow the SDRBench raw convention; dims can be embedded in the
+file name (``name_512_512_512.f32``) or passed via ``-d``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core.container import CompressedBlob
+from .core.registry import codec_name
+from .datasets.io import read_raw, write_raw
+
+
+def _cmd_compress(args) -> int:
+    shape = tuple(args.dims) if args.dims else None
+    data = read_raw(args.input, shape=shape)
+    if data.ndim == 1 and shape is None:
+        print("error: pass -d/--dims (or encode dims in the file name)", file=sys.stderr)
+        return 2
+    from . import compress
+
+    blob = compress(data, eb=args.eb, mode=args.mode, codec=args.codec)
+    payload = blob.to_bytes()
+    with open(args.output, "wb") as fh:
+        fh.write(payload)
+    print(
+        f"{args.input}: {data.nbytes} -> {len(payload)} bytes  "
+        f"CR={data.nbytes / len(payload):.2f}  bitrate={8 * len(payload) / data.size:.3f}"
+    )
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    with open(args.input, "rb") as fh:
+        blob = CompressedBlob.from_bytes(fh.read())
+    from . import decompress
+
+    recon = decompress(blob)
+    write_raw(args.output, recon)
+    print(f"{args.input}: wrote {recon.nbytes} bytes to {args.output} (shape {recon.shape})")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    with open(args.input, "rb") as fh:
+        blob = CompressedBlob.from_bytes(fh.read())
+    print(f"codec        : {codec_name(blob.codec)} (id {blob.codec})")
+    print(f"shape        : {blob.shape}  dtype {np.dtype(blob.dtype).name}")
+    print(f"error bound  : {blob.error_bound:.6g} (absolute)")
+    print(f"stream size  : {blob.nbytes} bytes  CR {blob.compression_ratio:.2f}  "
+          f"bitrate {blob.bitrate:.3f}")
+    print("segments     :")
+    for name, size in blob.segment_sizes().items():
+        print(f"  {name:16s} {size:12d} bytes")
+    interesting = {k: v for k, v in blob.meta.items() if not k.startswith("__seg_")}
+    if interesting:
+        print("meta         :")
+        for k, v in interesting.items():
+            print(f"  {k:16s} {v}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .analysis.harness import EVAL_ORDER, run_case
+    from .analysis.tables import format_table
+    from .datasets.registry import load
+
+    data = load(args.dataset, seed=args.seed)
+    rows = []
+    for name in EVAL_ORDER:
+        r = run_case(name, data, args.eb)
+        rows.append([name, f"{r.cr:.1f}", f"{r.bitrate:.3f}", f"{r.psnr:.1f}", f"{r.max_err:.3g}"])
+    print(format_table(["compressor", "CR", "bitrate", "PSNR", "max|err|"], rows,
+                       title=f"dataset={args.dataset} eb={args.eb}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro-compress", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    pc = sub.add_parser("compress", help="compress a raw float field")
+    pc.add_argument("input")
+    pc.add_argument("-o", "--output", required=True)
+    pc.add_argument("-d", "--dims", type=int, nargs="+", default=None)
+    pc.add_argument("--eb", type=float, default=1e-3, help="value-range-relative bound")
+    pc.add_argument("--mode", choices=("cr", "tp"), default="cr")
+    pc.add_argument("--codec", default=None, help="baseline codec name instead of cuSZ-Hi")
+    pc.set_defaults(func=_cmd_compress)
+
+    pd = sub.add_parser("decompress", help="decompress a .rpz stream")
+    pd.add_argument("input")
+    pd.add_argument("-o", "--output", required=True)
+    pd.set_defaults(func=_cmd_decompress)
+
+    pi = sub.add_parser("info", help="inspect a .rpz stream")
+    pi.add_argument("input")
+    pi.set_defaults(func=_cmd_info)
+
+    pb = sub.add_parser("bench", help="quick CR/PSNR table on a synthetic dataset")
+    pb.add_argument("--dataset", default="nyx")
+    pb.add_argument("--eb", type=float, default=1e-3)
+    pb.add_argument("--seed", type=int, default=0)
+    pb.set_defaults(func=_cmd_bench)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

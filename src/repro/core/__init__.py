@@ -1,0 +1,28 @@
+"""Core compressor framework: container format, configuration, registry and
+the cuSZ-Hi front end (paper §4)."""
+
+from .compressor import CuszHi, resolve_error_bound
+from .config import CR_MODE, TP_MODE, CuszHiConfig
+from .container import CompressedBlob, ContainerError
+from .registry import CODEC_IDS, codec_class, codec_name, list_codecs
+from .selector import ArchetypeScore, score_archetypes, select_compressor
+from .streaming import StreamReader, StreamWriter
+
+__all__ = [
+    "CuszHi",
+    "resolve_error_bound",
+    "CuszHiConfig",
+    "CR_MODE",
+    "TP_MODE",
+    "CompressedBlob",
+    "ContainerError",
+    "CODEC_IDS",
+    "codec_class",
+    "codec_name",
+    "list_codecs",
+    "StreamWriter",
+    "StreamReader",
+    "select_compressor",
+    "score_archetypes",
+    "ArchetypeScore",
+]

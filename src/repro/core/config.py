@@ -1,0 +1,66 @@
+"""Configuration objects for the cuSZ-Hi compressor (paper §4, §5, §6.2.5).
+
+Every ablation row of Table 5 is expressible as a :class:`CuszHiConfig`:
+
+=============================  ==========================================
+paper variant                  config
+=============================  ==========================================
+cuSZ-IB baseline               ``anchor_stride=8, reorder=False,
+                               autotune=False, scheme="1d",
+                               pipeline="HF+nvCOMP::Bitcomp"``
++ new data partition & anchor  ``anchor_stride=16`` (rest as above)
++ quant code reorder           ``reorder=True``
++ MD interp & auto-tune        ``autotune=True``
+cuSZ-Hi-CR (full)              ``pipeline="HF+RRE4-TCMS8-RZE1"``
+cuSZ-Hi-TP                     ``pipeline="TCMS1-BIT1-RRE1"``
+=============================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..encoders.pipelines import CR_PIPELINE, TP_PIPELINE
+
+__all__ = ["CuszHiConfig", "CR_MODE", "TP_MODE"]
+
+
+@dataclass(frozen=True)
+class CuszHiConfig:
+    """Tunable knobs of the cuSZ-Hi framework."""
+
+    #: anchor grid stride per dimension (16 for cuSZ-Hi, 8 for cuSZ-I)
+    anchor_stride: int = 16
+    #: Eq. 3 level-grouped code reordering (§5.1.4)
+    reorder: bool = True
+    #: per-level (scheme, spline) auto-tuning (§5.1.3)
+    autotune: bool = True
+    #: fallback interpolation scheme when autotune is off ("md" | "1d")
+    scheme: str = "md"
+    #: fallback spline family when autotune is off
+    spline: str = "cubic"
+    #: lossless pipeline name (see repro.encoders.pipelines)
+    pipeline: str = CR_PIPELINE
+    #: "rel" = value-range-relative error bound (paper default), "abs"
+    eb_mode: str = "rel"
+    #: auto-tune sampling fraction (paper: 0.2 %)
+    sample_fraction: float = 0.002
+
+    def __post_init__(self):
+        if self.anchor_stride < 2 or self.anchor_stride & (self.anchor_stride - 1):
+            raise ValueError("anchor_stride must be a power of two >= 2")
+        if self.scheme not in ("md", "1d"):
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+        if self.eb_mode not in ("rel", "abs"):
+            raise ValueError(f"eb_mode must be 'rel' or 'abs', got {self.eb_mode!r}")
+
+    def with_(self, **kwargs) -> "CuszHiConfig":
+        """Functional update (used heavily by the ablation harness)."""
+        return replace(self, **kwargs)
+
+
+#: compression-ratio-preferred mode (paper cuSZ-Hi-CR)
+CR_MODE = CuszHiConfig(pipeline=CR_PIPELINE)
+
+#: throughput-preferred mode (paper cuSZ-Hi-TP)
+TP_MODE = CuszHiConfig(pipeline=TP_PIPELINE)

@@ -1,0 +1,200 @@
+"""Self-describing binary container for compressed streams.
+
+Every compressor in this library emits a :class:`CompressedBlob`: an ordered
+set of named byte segments (anchor grid, outliers, encoded quantization codes,
+Huffman tables, pipeline metadata, ...) plus a typed header.  The container is
+what makes the compression *ratio* measurable honestly — ``blob.nbytes``
+counts every byte a real file would contain, including headers and per-segment
+CRCs, so none of the bookkeeping is hidden from the evaluation.
+
+Wire layout (little-endian)::
+
+    magic   4s   = b"RPZH"
+    version u16
+    codec   u16      registry id of the producing compressor
+    ndim    u8
+    dtype   u8       0=float32 1=float64
+    flags   u16
+    eb      f64      absolute error bound used
+    dims    u64 * ndim
+    nmeta   u16      number of (key,value) string pairs
+    nseg    u16
+    ---- nmeta times ----
+    klen u16, key bytes, vlen u32, value bytes
+    ---- nseg times ----
+    namelen u16, name bytes, payload_len u64, crc32 u32, payload bytes
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CompressedBlob", "ContainerError"]
+
+_MAGIC = b"RPZH"
+_VERSION = 3
+_DTYPES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
+_DTYPES_INV = {0: np.dtype(np.float32), 1: np.dtype(np.float64)}
+
+
+class ContainerError(ValueError):
+    """Raised when a serialized stream is malformed or fails its CRC check."""
+
+
+@dataclass
+class CompressedBlob:
+    """In-memory representation of one compressed dataset.
+
+    Attributes
+    ----------
+    codec:
+        Registry identifier of the producing compressor (see
+        :mod:`repro.core.registry`).
+    shape:
+        Original array shape.
+    dtype:
+        Original array dtype (float32/float64).
+    error_bound:
+        The *absolute* error bound the stream guarantees.
+    segments:
+        Ordered mapping of segment name to raw payload bytes.
+    meta:
+        Free-form string metadata (auto-tune decisions, pipeline names, ...)
+        that decompression needs; counted in :attr:`nbytes`.
+    """
+
+    codec: int
+    shape: tuple[int, ...]
+    dtype: np.dtype
+    error_bound: float
+    segments: dict[str, bytes] = field(default_factory=dict)
+    meta: dict[str, str] = field(default_factory=dict)
+    flags: int = 0
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def n_elements(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= int(d)
+        return n
+
+    @property
+    def original_nbytes(self) -> int:
+        return self.n_elements * np.dtype(self.dtype).itemsize
+
+    @property
+    def nbytes(self) -> int:
+        """Full serialized size in bytes (the denominator of the CR)."""
+        return len(self.to_bytes())
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.original_nbytes / max(1, self.nbytes)
+
+    @property
+    def bitrate(self) -> float:
+        """Average compressed bits per original element."""
+        return 8.0 * self.nbytes / max(1, self.n_elements)
+
+    def segment_sizes(self) -> dict[str, int]:
+        """Per-segment payload sizes — the paper's anchor-overhead analysis."""
+        return {k: len(v) for k, v in self.segments.items()}
+
+    # ------------------------------------------------------------- array part
+    def put_array(self, name: str, arr: np.ndarray) -> None:
+        """Store an array segment; dtype/shape recorded in the segment name
+        metadata so :meth:`get_array` can reconstruct it."""
+        arr = np.ascontiguousarray(arr)
+        self.meta[f"__seg_dtype_{name}"] = arr.dtype.str
+        self.meta[f"__seg_shape_{name}"] = ",".join(str(d) for d in arr.shape)
+        self.segments[name] = arr.tobytes()
+
+    def get_array(self, name: str) -> np.ndarray:
+        dt = np.dtype(self.meta[f"__seg_dtype_{name}"])
+        shp_s = self.meta[f"__seg_shape_{name}"]
+        shape = tuple(int(x) for x in shp_s.split(",")) if shp_s else ()
+        return np.frombuffer(self.segments[name], dtype=dt).reshape(shape)
+
+    # ---------------------------------------------------------- serialization
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        out += _MAGIC
+        out += struct.pack(
+            "<HHBBHd",
+            _VERSION,
+            self.codec,
+            len(self.shape),
+            _DTYPES[np.dtype(self.dtype)],
+            self.flags,
+            float(self.error_bound),
+        )
+        for d in self.shape:
+            out += struct.pack("<Q", int(d))
+        out += struct.pack("<HH", len(self.meta), len(self.segments))
+        for k, v in self.meta.items():
+            kb, vb = k.encode(), v.encode()
+            out += struct.pack("<H", len(kb)) + kb
+            out += struct.pack("<I", len(vb)) + vb
+        for name, payload in self.segments.items():
+            nb = name.encode()
+            out += struct.pack("<H", len(nb)) + nb
+            out += struct.pack("<QI", len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+            out += payload
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, buf: bytes) -> "CompressedBlob":
+        view = memoryview(buf)
+        if bytes(view[:4]) != _MAGIC:
+            raise ContainerError("bad magic — not a repro compressed stream")
+        off = 4
+        version, codec, ndim, dtc, flags, eb = struct.unpack_from("<HHBBHd", view, off)
+        off += struct.calcsize("<HHBBHd")
+        if version != _VERSION:
+            raise ContainerError(f"unsupported container version {version}")
+        if dtc not in _DTYPES_INV:
+            raise ContainerError(f"unknown dtype code {dtc}")
+        dims = []
+        for _ in range(ndim):
+            (d,) = struct.unpack_from("<Q", view, off)
+            off += 8
+            dims.append(int(d))
+        nmeta, nseg = struct.unpack_from("<HH", view, off)
+        off += 4
+        meta: dict[str, str] = {}
+        for _ in range(nmeta):
+            (klen,) = struct.unpack_from("<H", view, off)
+            off += 2
+            k = bytes(view[off : off + klen]).decode()
+            off += klen
+            (vlen,) = struct.unpack_from("<I", view, off)
+            off += 4
+            meta[k] = bytes(view[off : off + vlen]).decode()
+            off += vlen
+        segments: dict[str, bytes] = {}
+        for _ in range(nseg):
+            (namelen,) = struct.unpack_from("<H", view, off)
+            off += 2
+            name = bytes(view[off : off + namelen]).decode()
+            off += namelen
+            plen, crc = struct.unpack_from("<QI", view, off)
+            off += 12
+            payload = bytes(view[off : off + plen])
+            off += plen
+            if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+                raise ContainerError(f"CRC mismatch in segment {name!r}")
+            segments[name] = payload
+        return cls(
+            codec=codec,
+            shape=tuple(dims),
+            dtype=_DTYPES_INV[dtc],
+            error_bound=eb,
+            segments=segments,
+            meta=meta,
+            flags=flags,
+        )

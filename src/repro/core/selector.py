@@ -1,0 +1,97 @@
+"""Automatic compressor-archetype selection (paper §7, future work #3).
+
+The paper's closing roadmap asks for "an auto-selection mechanism for
+different data compressor archetypes and/or lossless pipelines to fit
+different data characteristics".  This module implements that mechanism with
+the same sampling discipline as the interpolation auto-tuner (§5.1.3):
+
+1. sample a small fraction of the field as blocks;
+2. score each archetype's *decomposition efficiency* on the samples — the
+   entropy of its quantization codes at the requested bound (a direct proxy
+   for the achievable ratio that avoids running full pipelines);
+3. pick the archetype with the lowest predicted bitrate, breaking ties
+   toward the cheaper predictor, and return a ready-to-use compressor.
+
+Archetypes considered: interpolation (cuSZ-Hi engine), Lorenzo (cuSZ-L) and
+1-D offset (cuSZp2) — the three decomposition families of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..predictor.autotune import sample_blocks
+from ..predictor.interpolation import InterpolationPredictor
+from ..predictor.lorenzo import lorenzo_encode
+from ..predictor.offset1d import offset_encode
+from .compressor import CuszHi, resolve_error_bound
+
+__all__ = ["ArchetypeScore", "score_archetypes", "select_compressor"]
+
+ARCHETYPES = ("interpolation", "lorenzo", "offset")
+
+#: relative decomposition cost used only to break near-ties (cheap first)
+_TIE_COST = {"offset": 0.0, "lorenzo": 0.05, "interpolation": 0.1}
+
+
+@dataclass(frozen=True)
+class ArchetypeScore:
+    """Predicted bitrate (bits/value) of one decomposition archetype."""
+
+    archetype: str
+    predicted_bitrate: float
+
+
+def _entropy_bits(values: np.ndarray) -> float:
+    """Shannon entropy (bits/symbol) of an integer code array."""
+    _, counts = np.unique(values, return_counts=True)
+    p = counts / values.size
+    return float(-(p * np.log2(p)).sum())
+
+
+def score_archetypes(
+    data: np.ndarray, eb: float, eb_mode: str = "rel", seed: int = 0
+) -> list[ArchetypeScore]:
+    """Rank decomposition archetypes by predicted bitrate on sampled blocks."""
+    abs_eb = resolve_error_bound(data, eb, eb_mode)
+    blocks = sample_blocks(data, block_side=33, target_fraction=0.01, seed=seed)
+    sums = {a: 0.0 for a in ARCHETYPES}
+    weights = {a: 0.0 for a in ARCHETYPES}
+    interp = InterpolationPredictor(16)
+    for blk in blocks:
+        n = blk.size
+        res = interp.compress(blk, abs_eb)
+        sums["interpolation"] += _entropy_bits(res.codes) * n
+        lor = lorenzo_encode(blk, abs_eb)
+        sums["lorenzo"] += _entropy_bits(np.clip(lor.residuals, -512, 512)) * n
+        off = offset_encode(blk, abs_eb)
+        sums["offset"] += _entropy_bits(np.clip(off.residuals, -512, 512)) * n
+        for a in ARCHETYPES:
+            weights[a] += n
+    scores = [
+        ArchetypeScore(a, sums[a] / max(1.0, weights[a]) + _TIE_COST[a]) for a in ARCHETYPES
+    ]
+    return sorted(scores, key=lambda s: s.predicted_bitrate)
+
+
+def select_compressor(data: np.ndarray, eb: float, eb_mode: str = "rel", seed: int = 0):
+    """Return ``(compressor, scores)`` with the best archetype instantiated.
+
+    The interpolation archetype instantiates cuSZ-Hi-CR; Lorenzo and offset
+    map to the corresponding baselines.
+    """
+    # Imported lazily: the harness pulls in the baseline package, which in
+    # turn imports this package at module load.
+    from ..analysis.harness import make_compressor
+
+    scores = score_archetypes(data, eb, eb_mode, seed)
+    best = scores[0].archetype
+    if best == "interpolation":
+        comp = CuszHi(mode="cr") if eb_mode == "rel" else CuszHi(config=None, mode="cr")
+    elif best == "lorenzo":
+        comp = make_compressor("cusz-l")
+    else:
+        comp = make_compressor("cuszp2")
+    return comp, scores

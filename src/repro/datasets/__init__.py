@@ -1,0 +1,34 @@
+"""Evaluation datasets: synthetic SDRBench stand-ins + raw I/O (Table 3)."""
+
+from .io import read_raw, shape_from_filename, write_raw
+from .registry import DATASETS, DatasetInfo, dataset_names, load
+from .synthetic import (
+    cesm_atm,
+    hurricane,
+    gaussian_random_field,
+    jhtdb,
+    miranda,
+    nyx,
+    qmcpack,
+    rtm,
+    scale_letkf,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetInfo",
+    "dataset_names",
+    "load",
+    "read_raw",
+    "write_raw",
+    "shape_from_filename",
+    "gaussian_random_field",
+    "cesm_atm",
+    "jhtdb",
+    "miranda",
+    "nyx",
+    "qmcpack",
+    "rtm",
+    "hurricane",
+    "scale_letkf",
+]

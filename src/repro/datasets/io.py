@@ -1,0 +1,53 @@
+"""Raw binary dataset I/O following the SDRBench file convention.
+
+SDRBench distributes fields as headerless little-endian binaries whose shape
+is encoded in the file name (e.g. ``CLDHGH_1_1800_3600.f32``).  These helpers
+read/write that convention so the CLI and examples can interoperate with real
+SDRBench downloads when they are available.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import numpy as np
+
+__all__ = ["read_raw", "write_raw", "shape_from_filename"]
+
+_SUFFIX_DTYPES = {".f32": np.float32, ".d64": np.float64, ".f64": np.float64}
+
+
+def shape_from_filename(path: str) -> tuple[int, ...] | None:
+    """Infer dims from trailing ``_d1_d2[_d3[_d4]]`` groups in the name."""
+    stem = os.path.splitext(os.path.basename(path))[0]
+    m = re.search(r"((?:_\d+){1,5})$", stem)
+    if not m:
+        return None
+    dims = tuple(int(x) for x in m.group(1).strip("_").split("_"))
+    return dims if all(d > 0 for d in dims) else None
+
+
+def read_raw(
+    path: str, shape: tuple[int, ...] | None = None, dtype: np.dtype | None = None
+) -> np.ndarray:
+    """Read an SDRBench-style raw field; shape/dtype inferred when omitted."""
+    if dtype is None:
+        ext = os.path.splitext(path)[1].lower()
+        dtype = _SUFFIX_DTYPES.get(ext, np.float32)
+    data = np.fromfile(path, dtype=dtype)
+    if shape is None:
+        shape = shape_from_filename(path)
+    if shape is not None:
+        n = int(np.prod(shape))
+        if n != data.size:
+            raise ValueError(
+                f"{path}: file holds {data.size} values but shape {shape} needs {n}"
+            )
+        data = data.reshape(shape)
+    return data
+
+
+def write_raw(path: str, data: np.ndarray) -> None:
+    """Write a field as a headerless little-endian binary."""
+    np.ascontiguousarray(data).tofile(path)

@@ -1,0 +1,126 @@
+"""Dataset registry mirroring the paper's Table 3.
+
+Each entry records the original archive's geometry (for documentation and
+size-scaling claims) and binds the synthetic generator that stands in for it.
+``load(name)`` is the single entry point the examples, tests and benchmark
+harnesses use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from . import synthetic
+
+__all__ = ["DatasetInfo", "DATASETS", "load", "dataset_names"]
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Metadata of one evaluation dataset (paper Table 3 row)."""
+
+    name: str
+    domain: str
+    paper_dims: tuple[int, ...]
+    paper_files: int
+    paper_total: str
+    default_shape: tuple[int, ...]
+    generator: Callable[..., np.ndarray]
+
+    def generate(self, shape: tuple[int, ...] | None = None, seed: int = 0) -> np.ndarray:
+        return self.generator(shape=shape or self.default_shape, seed=seed)
+
+
+DATASETS: dict[str, DatasetInfo] = {
+    info.name: info
+    for info in (
+        DatasetInfo(
+            "cesm-atm",
+            "Community Earth System Model (Atmosphere)",
+            (1800, 3600),
+            79,
+            "1.5 GiB",
+            (225, 450),
+            synthetic.cesm_atm,
+        ),
+        DatasetInfo(
+            "jhtdb",
+            "numerical simulation of turbulence",
+            (512, 512, 512),
+            10,
+            "5 GiB",
+            (96, 96, 96),
+            synthetic.jhtdb,
+        ),
+        DatasetInfo(
+            "miranda",
+            "hydrodynamics simulation",
+            (256, 384, 384),
+            7,
+            "1 GiB",
+            (64, 96, 96),
+            synthetic.miranda,
+        ),
+        DatasetInfo(
+            "nyx",
+            "cosmological hydrodynamics simulation",
+            (512, 512, 512),
+            6,
+            "3.1 GiB",
+            (96, 96, 96),
+            synthetic.nyx,
+        ),
+        DatasetInfo(
+            "qmcpack",
+            "Monte Carlo quantum simulation",
+            (288, 115, 69, 69),
+            1,
+            "612 MiB",
+            (36, 29, 34, 34),
+            synthetic.qmcpack,
+        ),
+        DatasetInfo(
+            "hurricane",
+            "hurricane simulation (Fig. 6 lossless benchmark only)",
+            (100, 500, 500),
+            13,
+            "1.2 GiB",
+            (24, 96, 96),
+            synthetic.hurricane,
+        ),
+        DatasetInfo(
+            "scale-letkf",
+            "SCALE-LETKF weather model (Fig. 6 lossless benchmark only)",
+            (98, 1200, 1200),
+            12,
+            "6.4 GiB",
+            (16, 120, 120),
+            synthetic.scale_letkf,
+        ),
+        DatasetInfo(
+            "rtm",
+            "reverse time migration for seismic imaging",
+            (449, 449, 235),
+            37,
+            "6.5 GiB",
+            (72, 72, 48),
+            synthetic.rtm,
+        ),
+    )
+}
+
+
+def dataset_names() -> list[str]:
+    return list(DATASETS)
+
+
+def load(name: str, shape: tuple[int, ...] | None = None, seed: int = 0) -> np.ndarray:
+    """Generate the synthetic stand-in for dataset ``name``."""
+    try:
+        info = DATASETS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASETS)}") from None
+    return info.generate(shape=shape, seed=seed)

@@ -1,0 +1,70 @@
+"""Lossless encoding subsystem: LC-style components, entropy coders, and the
+named pipelines cuSZ-Hi orchestrates (paper §5.2)."""
+
+from .ans import RansCodec
+from .bitcomp import BitcompCodec
+from .components import (
+    BIT,
+    CLOG,
+    DIFF,
+    DIFFMS,
+    RRE,
+    RZE,
+    TCMS,
+    TUPLD,
+    TUPLQ,
+    Component,
+    make_component,
+)
+from .deflate import DeflateCodec
+from .fixedlen import FixedLengthCodec
+from .gpulz import GpuLzCodec
+from .huffman import HuffmanCodec
+from .ndzip import NdzipCodec
+from .search import (
+    DEFAULT_VOCABULARY,
+    PipelineResult,
+    enumerate_pipelines,
+    pareto_front,
+    search_pipelines,
+)
+from .pipelines import (
+    CR_PIPELINE,
+    PIPELINE_CATALOG,
+    TP_PIPELINE,
+    LosslessPipeline,
+    get_pipeline,
+    parse_pipeline,
+)
+
+__all__ = [
+    "BIT",
+    "CLOG",
+    "DIFF",
+    "DIFFMS",
+    "RRE",
+    "RZE",
+    "TCMS",
+    "TUPLD",
+    "TUPLQ",
+    "Component",
+    "make_component",
+    "HuffmanCodec",
+    "RansCodec",
+    "BitcompCodec",
+    "DeflateCodec",
+    "FixedLengthCodec",
+    "GpuLzCodec",
+    "NdzipCodec",
+    "LosslessPipeline",
+    "get_pipeline",
+    "parse_pipeline",
+    "PIPELINE_CATALOG",
+    "CR_PIPELINE",
+    "TP_PIPELINE",
+    "enumerate_pipelines",
+    "search_pipelines",
+    "pareto_front",
+    "PipelineResult",
+    "DEFAULT_VOCABULARY",
+]

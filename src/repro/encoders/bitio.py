@@ -1,0 +1,133 @@
+"""Vectorized bit-level packing and window-extraction primitives.
+
+Every lossless stage in :mod:`repro.encoders` manipulates bitstreams.  On the
+GPU these are warp-cooperative bit scatters; here each primitive is expressed
+as a whole-array NumPy operation so the same data movement happens in a few
+fused passes instead of a Python loop per symbol (see the chunk-parallel
+Huffman codec in :mod:`repro.encoders.huffman` for the main consumer).
+
+All bitstreams use **MSB-first** bit order inside each byte, matching
+``numpy.packbits``/``numpy.unpackbits`` defaults, so round-trips compose with
+the NumPy primitives without re-ordering passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pack_bitfields",
+    "unpack_bitfields",
+    "extract_bit_windows",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "popcount_bytes",
+]
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a 0/1 ``uint8`` array into bytes (MSB first), returning ``bytes``."""
+    if bits.dtype != np.uint8:
+        bits = bits.astype(np.uint8)
+    return np.packbits(bits).tobytes()
+
+
+def bytes_to_bits(buf: bytes | np.ndarray, nbits: int) -> np.ndarray:
+    """Unpack ``buf`` into the first ``nbits`` bits as a 0/1 ``uint8`` array."""
+    arr = np.frombuffer(buf, dtype=np.uint8) if isinstance(buf, (bytes, bytearray, memoryview)) else np.asarray(buf, dtype=np.uint8)
+    bits = np.unpackbits(arr, count=nbits)
+    return bits
+
+
+def pack_bitfields(values: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
+    """Concatenate variable-length bitfields into a packed bitstream.
+
+    ``values[i]`` holds the field in its low ``lengths[i]`` bits; fields are
+    emitted MSB-first in index order.  This is the workhorse of the Huffman
+    encoder: instead of looping over symbols we loop over *bit planes* (at most
+    ``max(lengths)`` iterations, each fully vectorized), mirroring how the GPU
+    kernel assigns one thread per symbol and scatters by precomputed offsets.
+
+    Returns ``(packed_bytes, total_bits)``.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if values.shape != lengths.shape:
+        raise ValueError("values and lengths must have identical shapes")
+    if values.size == 0:
+        return b"", 0
+    if lengths.min() < 0 or lengths.max() > 64:
+        raise ValueError("bitfield lengths must be in [0, 64]")
+    total = int(lengths.sum())
+    # Exclusive prefix sum of lengths = start bit offset of each field.
+    starts = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=starts[1:])
+    bits = np.zeros(total, dtype=np.uint8)
+    maxlen = int(lengths.max())
+    for plane in range(maxlen):
+        # Fields long enough to own a bit at position `plane` (from the MSB of
+        # the field): bit value is (v >> (len-1-plane)) & 1.
+        active = lengths > plane
+        if not active.any():
+            break
+        shift = (lengths[active] - 1 - plane).astype(np.uint64)
+        bitvals = ((values[active] >> shift) & np.uint64(1)).astype(np.uint8)
+        bits[starts[active] + plane] = bitvals
+    return bits_to_bytes(bits), total
+
+
+def unpack_bitfields(buf: bytes, lengths: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_bitfields` given the per-field lengths."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.size == 0:
+        return np.zeros(0, dtype=np.uint64)
+    total = int(lengths.sum())
+    bits = bytes_to_bits(buf, total).astype(np.uint64)
+    starts = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=starts[1:])
+    out = np.zeros(lengths.size, dtype=np.uint64)
+    maxlen = int(lengths.max())
+    for plane in range(maxlen):
+        active = lengths > plane
+        if not active.any():
+            break
+        out[active] = (out[active] << np.uint64(1)) | bits[starts[active] + plane]
+    return out
+
+
+def extract_bit_windows(stream: np.ndarray, bit_offsets: np.ndarray, width: int) -> np.ndarray:
+    """Read a ``width``-bit big-endian window at each ``bit_offsets`` position.
+
+    ``stream`` is the packed byte array; windows may start at any bit.  Used by
+    the chunk-parallel Huffman decoder, which peeks ``max_code_length`` bits at
+    the head of every active chunk simultaneously.  Windows running past the
+    end of the stream are zero-padded on the right, as the decoder only ever
+    consumes the valid prefix.
+
+    Returns ``uint32`` windows (``width`` must be <= 24 so that any bit-aligned
+    window fits in 4 consecutive bytes).
+    """
+    if width <= 0 or width > 24:
+        raise ValueError("window width must be in [1, 24]")
+    stream = np.asarray(stream, dtype=np.uint8)
+    offs = np.asarray(bit_offsets, dtype=np.int64)
+    byte_idx = offs >> 3
+    bit_in_byte = (offs & 7).astype(np.uint32)
+    # Gather 4 bytes with zero padding beyond the end.
+    padded = np.zeros(stream.size + 4, dtype=np.uint8)
+    padded[: stream.size] = stream
+    b0 = padded[byte_idx].astype(np.uint32)
+    b1 = padded[byte_idx + 1].astype(np.uint32)
+    b2 = padded[byte_idx + 2].astype(np.uint32)
+    b3 = padded[byte_idx + 3].astype(np.uint32)
+    word = (b0 << np.uint32(24)) | (b1 << np.uint32(16)) | (b2 << np.uint32(8)) | b3
+    word = word << bit_in_byte  # drop leading bits before the window
+    return word >> np.uint32(32 - width)
+
+
+def popcount_bytes(buf: np.ndarray) -> int:
+    """Total number of set bits in a ``uint8`` array (vectorized popcount)."""
+    arr = np.asarray(buf, dtype=np.uint8)
+    if arr.size == 0:
+        return 0
+    return int(np.unpackbits(arr).sum())

@@ -1,0 +1,183 @@
+"""Canonical Huffman codec with chunk-parallel encode/decode (paper §5.2).
+
+cuSZ's GPU Huffman stage is *coarse-grained*: the symbol stream is cut into
+fixed-size chunks, every thread block encodes/decodes one chunk, and a table
+of per-chunk bit offsets makes decode embarrassingly parallel [Rivera et al.,
+IPDPS'22].  This implementation reproduces that execution shape in NumPy:
+
+* **encode** — code/length lookup is one gather; bit placement runs one
+  vectorized pass per *bit plane* (≤ ``max_code_len`` passes total) instead of
+  one step per symbol;
+* **decode** — one symbol is decoded *per chunk per iteration*, across all
+  chunks simultaneously; the iteration count is the chunk size, not the
+  stream length, exactly like the SM-parallel decoder.
+
+Code lengths are limited to :data:`MAX_CODE_LEN` bits with the zlib-style
+Kraft rebalancing so the decoder can use a flat 2^L lookup table.
+
+Stream layout::
+
+    u64 n_symbols | u32 chunk_size | u64 payload_bits
+    256 x u8 code lengths
+    (n_chunks-1) x u64 chunk bit offsets   (chunk 0 starts at 0)
+    payload bytes
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+
+import numpy as np
+
+from .bitio import extract_bit_windows, pack_bitfields
+
+__all__ = ["HuffmanCodec", "code_lengths_from_frequencies", "canonical_codes"]
+
+MAX_CODE_LEN = 16
+DEFAULT_CHUNK = 4096
+
+
+def code_lengths_from_frequencies(freq: np.ndarray, max_len: int = MAX_CODE_LEN) -> np.ndarray:
+    """Optimal prefix-code lengths for ``freq`` (size-256), length-limited.
+
+    Builds the Huffman tree with a heap, then applies the classic Kraft-sum
+    rebalancing when any code exceeds ``max_len`` (demote overlong codes to
+    ``max_len``, then lengthen the cheapest shorter codes until the Kraft sum
+    returns to 1).
+    """
+    freq = np.asarray(freq, dtype=np.int64)
+    symbols = np.flatnonzero(freq)
+    lengths = np.zeros(freq.size, dtype=np.uint8)
+    if symbols.size == 0:
+        return lengths
+    if symbols.size == 1:
+        lengths[symbols[0]] = 1
+        return lengths
+    # (weight, tiebreak, [symbols in subtree])
+    heap: list[tuple[int, int, list[int]]] = [
+        (int(freq[s]), int(s), [int(s)]) for s in symbols
+    ]
+    heapq.heapify(heap)
+    tie = 256
+    depth = np.zeros(freq.size, dtype=np.int64)
+    while len(heap) > 1:
+        w1, _, s1 = heapq.heappop(heap)
+        w2, _, s2 = heapq.heappop(heap)
+        for s in s1:
+            depth[s] += 1
+        for s in s2:
+            depth[s] += 1
+        heapq.heappush(heap, (w1 + w2, tie, s1 + s2))
+        tie += 1
+    if depth.max() > max_len:
+        depth = np.minimum(depth, max_len)
+        # Kraft sum in units of 2^-max_len.
+        unit = 1 << max_len
+        kraft = int((np.where(depth > 0, unit >> depth, 0)).sum())
+        # Lengthen the shortest over-privileged codes until the sum fits.
+        while kraft > unit:
+            candidates = np.flatnonzero((depth > 0) & (depth < max_len))
+            # Taking the currently longest (< max) code loses the least.
+            s = candidates[np.argmax(depth[candidates])]
+            kraft -= unit >> int(depth[s])
+            depth[s] += 1
+            kraft += unit >> int(depth[s])
+    return depth.astype(np.uint8)
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Canonical code values for the given lengths (sorted by length, symbol)."""
+    lengths = np.asarray(lengths, dtype=np.uint8)
+    codes = np.zeros(lengths.size, dtype=np.uint64)
+    order = np.lexsort((np.arange(lengths.size), lengths))
+    order = order[lengths[order] > 0]
+    code = 0
+    prev_len = 0
+    for s in order:
+        l = int(lengths[s])
+        code <<= l - prev_len
+        codes[s] = code
+        code += 1
+        prev_len = l
+    return codes
+
+
+class HuffmanCodec:
+    """Byte-symbol canonical Huffman with chunked parallel decode."""
+
+    def __init__(self, chunk_size: int = DEFAULT_CHUNK, max_len: int = MAX_CODE_LEN):
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if not 1 <= max_len <= 24:
+            raise ValueError("max_len must be in [1, 24]")
+        self.chunk_size = chunk_size
+        self.max_len = max_len
+
+    # ------------------------------------------------------------------ enc
+    def encode(self, buf: bytes) -> bytes:
+        arr = np.frombuffer(buf, dtype=np.uint8)
+        n = arr.size
+        header = struct.pack("<QIQ", n, self.chunk_size, 0)
+        if n == 0:
+            return struct.pack("<QIQ", 0, self.chunk_size, 0) + bytes(256)
+        freq = np.bincount(arr, minlength=256)
+        lengths = code_lengths_from_frequencies(freq, self.max_len)
+        codes = canonical_codes(lengths)
+        sym_codes = codes[arr]
+        sym_lens = lengths[arr].astype(np.int64)
+        payload, nbits = pack_bitfields(sym_codes, sym_lens)
+        nchunks = (n + self.chunk_size - 1) // self.chunk_size
+        if nchunks > 1:
+            starts = np.zeros(n, dtype=np.int64)
+            np.cumsum(sym_lens[:-1], out=starts[1:])
+            offsets = starts[self.chunk_size :: self.chunk_size].astype(np.uint64)
+        else:
+            offsets = np.zeros(0, dtype=np.uint64)
+        header = struct.pack("<QIQ", n, self.chunk_size, nbits)
+        return header + lengths.tobytes() + offsets.tobytes() + payload
+
+    # ------------------------------------------------------------------ dec
+    def decode(self, buf: bytes) -> bytes:
+        n, chunk_size, nbits = struct.unpack_from("<QIQ", buf, 0)
+        off = struct.calcsize("<QIQ")
+        lengths = np.frombuffer(buf, dtype=np.uint8, count=256, offset=off)
+        off += 256
+        if n == 0:
+            return b""
+        nchunks = (n + chunk_size - 1) // chunk_size
+        offsets64 = np.frombuffer(buf, dtype=np.uint64, count=nchunks - 1, offset=off)
+        off += offsets64.nbytes
+        payload = np.frombuffer(buf, dtype=np.uint8, offset=off)
+
+        L = int(lengths.max())
+        lut_sym, lut_len = self._build_lut(lengths, L)
+
+        pos = np.zeros(nchunks, dtype=np.int64)
+        pos[1:] = offsets64.astype(np.int64)
+        out = np.zeros((nchunks, chunk_size), dtype=np.uint8)
+        total_bits = int(nbits)
+        # One symbol per chunk per iteration; lanes that run past their chunk
+        # decode harmless padding which is sliced away below.
+        for it in range(min(chunk_size, n)):
+            win = extract_bit_windows(payload, pos, L)
+            out[:, it] = lut_sym[win]
+            pos += lut_len[win]
+            np.minimum(pos, total_bits, out=pos)
+        return out.reshape(-1)[:n].tobytes()
+
+    @staticmethod
+    def _build_lut(lengths: np.ndarray, L: int) -> tuple[np.ndarray, np.ndarray]:
+        """Flat 2^L decode table: every L-bit window -> (symbol, code length)."""
+        codes = canonical_codes(lengths)
+        lut_sym = np.zeros(1 << L, dtype=np.uint8)
+        lut_len = np.ones(1 << L, dtype=np.int64)  # len>=1 guarantees progress
+        for s in range(256):
+            l = int(lengths[s])
+            if l == 0:
+                continue
+            base = int(codes[s]) << (L - l)
+            span = 1 << (L - l)
+            lut_sym[base : base + span] = s
+            lut_len[base : base + span] = l
+        return lut_sym, lut_len

@@ -1,0 +1,131 @@
+"""LC-style lossless pipeline search (paper §5.2.2).
+
+The LC framework "enables users to traverse diverse component combinations
+... and customize compressors with an arbitrary number of stages".  The
+paper ran exactly such a preliminary search to pick its 8 representative
+pipelines.  This module reproduces the search tool:
+
+* :func:`enumerate_pipelines` — generate candidate stage chains up to a
+  depth from a component vocabulary (with the same pruning LC applies:
+  reducers may repeat, mutators/shufflers may not appear twice in a row);
+* :func:`search_pipelines` — measure CR (real encode) and modeled throughput
+  for every candidate on a payload, returning results sorted by ratio;
+* :func:`pareto_front` — the (throughput, ratio) frontier among results.
+
+Used by ``examples/lossless_explorer.py`` and the Fig. 6 ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from ..gpu.costmodel import pipeline_kernels, trace_time_s
+from ..gpu.device import RTX_6000_ADA, DeviceSpec
+from .pipelines import LosslessPipeline
+
+__all__ = [
+    "PipelineResult",
+    "enumerate_pipelines",
+    "search_pipelines",
+    "pareto_front",
+    "DEFAULT_VOCABULARY",
+]
+
+#: the component vocabulary the paper's search draws from (Fig. 6 stages)
+DEFAULT_VOCABULARY = (
+    "RRE1", "RRE2", "RRE4", "RZE1", "TCMS1", "TCMS8", "BIT1",
+    "DIFFMS1", "CLOG1", "TUPLQ1", "TUPLD2",
+)
+
+_KIND_OF = {
+    "RRE": "reducer", "RZE": "reducer", "CLOG": "reducer",
+    "TCMS": "mutator", "DIFF": "mutator", "DIFFMS": "mutator",
+    "BIT": "shuffler", "TUPLQ": "shuffler", "TUPLD": "shuffler",
+}
+
+
+def _kind(stage: str) -> str:
+    for prefix in sorted(_KIND_OF, key=len, reverse=True):
+        if stage.startswith(prefix):
+            return _KIND_OF[prefix]
+    return "other"
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    name: str
+    cr: float
+    overall_gibs: float
+
+
+def enumerate_pipelines(
+    vocabulary: tuple[str, ...] = DEFAULT_VOCABULARY,
+    max_stages: int = 3,
+    with_huffman: bool = True,
+) -> list[str]:
+    """Candidate pipeline names up to ``max_stages`` LC stages.
+
+    Pruning rules (LC's "adaptive" subset): no identical consecutive stages;
+    no two non-reducers in a row of the same kind (a shuffle of a shuffle or
+    zigzag of a zigzag never helps); chains must end with a reducer, since
+    only reducers change the size.
+    """
+    out: list[str] = []
+    for depth in range(1, max_stages + 1):
+        for combo in product(vocabulary, repeat=depth):
+            ok = _kind(combo[-1]) == "reducer"
+            for a, b in zip(combo, combo[1:]):
+                if a == b or (_kind(a) != "reducer" and _kind(a) == _kind(b)):
+                    ok = False
+                    break
+            if ok:
+                name = "-".join(combo)
+                out.append(name)
+                if with_huffman:
+                    out.append(f"HF+{name}")
+    return out
+
+
+def search_pipelines(
+    payload: bytes,
+    candidates: list[str] | None = None,
+    device: DeviceSpec = RTX_6000_ADA,
+    scale: float = 1.0,
+) -> list[PipelineResult]:
+    """Measure every candidate on ``payload``; sorted by descending ratio.
+
+    Candidates that fail to round-trip (none should) are skipped defensively
+    so a search never aborts mid-sweep.
+    """
+    if candidates is None:
+        candidates = enumerate_pipelines()
+    results = []
+    for name in candidates:
+        try:
+            p = LosslessPipeline(name)
+            enc = p.encode(payload)
+            if p.decode(enc) != payload:  # pragma: no cover - safety net
+                continue
+            t_enc = trace_time_s(pipeline_kernels(p.last_trace), device, scale)
+            t_dec = trace_time_s(pipeline_kernels(p.last_trace, decode=True), device, scale)
+            gibs = (scale * len(payload) / 2**30) / ((t_enc + t_dec) / 2.0)
+            results.append(PipelineResult(name, len(payload) / max(1, len(enc)), gibs))
+        except ValueError:  # pragma: no cover - unknown stage in custom vocab
+            continue
+    return sorted(results, key=lambda r: -r.cr)
+
+
+def pareto_front(results: list[PipelineResult], min_gibs: float = 0.0) -> list[PipelineResult]:
+    """Non-dominated (ratio, throughput) subset above ``min_gibs``."""
+    eligible = [r for r in results if r.overall_gibs >= min_gibs]
+    front = []
+    for r in eligible:
+        if not any(
+            (o.cr >= r.cr and o.overall_gibs > r.overall_gibs)
+            or (o.cr > r.cr and o.overall_gibs >= r.overall_gibs)
+            for o in eligible
+            if o is not r
+        ):
+            front.append(r)
+    return sorted(front, key=lambda r: -r.cr)

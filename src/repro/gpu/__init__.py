@@ -1,0 +1,27 @@
+"""Simulated GPU execution substrate: device specs, kernel accounting, and
+the roofline cost model that produces Fig. 6/Fig. 10 throughput numbers."""
+
+from .costmodel import (
+    STAGE_KERNEL_MODELS,
+    kernel_time_s,
+    pipeline_kernels,
+    throughput_gibs,
+    trace_time_s,
+)
+from .device import A100_SXM_80GB, DEVICES, RTX_6000_ADA, DeviceSpec
+from .kernel import EFFICIENCY, KernelRecord, KernelTrace
+
+__all__ = [
+    "DeviceSpec",
+    "A100_SXM_80GB",
+    "RTX_6000_ADA",
+    "DEVICES",
+    "KernelRecord",
+    "KernelTrace",
+    "EFFICIENCY",
+    "kernel_time_s",
+    "trace_time_s",
+    "throughput_gibs",
+    "pipeline_kernels",
+    "STAGE_KERNEL_MODELS",
+]

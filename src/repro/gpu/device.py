@@ -1,0 +1,49 @@
+"""GPU device specifications (paper Table 2).
+
+The reproduction runs on CPU, so throughput numbers (Fig. 6, Fig. 10) come
+from a roofline model over these device parameters rather than wall-clock
+timing.  Both testbed GPUs from the paper are described exactly as Table 2
+lists them; adding a new device is one dataclass instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "A100_SXM_80GB", "RTX_6000_ADA", "DEVICES"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Roofline-relevant parameters of one GPU."""
+
+    name: str
+    #: HBM/GDDR bandwidth in GB/s (base-1000, as vendor sheets quote)
+    mem_bw_gbs: float
+    #: peak FP32 throughput in TFLOPS
+    fp32_tflops: float
+    #: fixed per-kernel launch + sync overhead in microseconds
+    kernel_launch_us: float = 4.0
+    #: bytes of last-level cache+shared memory (affects gather efficiency)
+    l2_bytes: int = 40 * 2**20
+
+    @property
+    def mem_bw_bytes(self) -> float:
+        return self.mem_bw_gbs * 1e9
+
+    @property
+    def fp32_flops(self) -> float:
+        return self.fp32_tflops * 1e12
+
+
+#: NERSC Perlmutter node GPU (paper Table 2, column 1)
+A100_SXM_80GB = DeviceSpec(
+    name="A100 (80GB, SXM)", mem_bw_gbs=2039.0, fp32_tflops=19.5, l2_bytes=40 * 2**20
+)
+
+#: lab workstation GPU (paper Table 2, column 2)
+RTX_6000_ADA = DeviceSpec(
+    name="RTX 6000 Ada (48GB)", mem_bw_gbs=960.0, fp32_tflops=91.06, l2_bytes=96 * 2**20
+)
+
+DEVICES = {"a100": A100_SXM_80GB, "rtx6000ada": RTX_6000_ADA}

@@ -1,0 +1,87 @@
+"""Kernel-launch accounting for the simulated GPU execution.
+
+Every compressor stage corresponds to one or more CUDA kernels in the real
+system.  A :class:`KernelRecord` captures what that kernel moves and computes
+— actual byte counts measured from the arrays the reproduction processes —
+and an *efficiency class* describing its memory-access pattern.  The roofline
+model in :mod:`repro.gpu.costmodel` turns a list of records into seconds.
+
+Efficiency classes (fractions of peak sustained in practice):
+
+==============  =====  ====================================================
+class            eff   typical kernels
+==============  =====  ====================================================
+``streaming``   0.85   map/transform, coalesced read->write
+``scan``        0.60   prefix sums, cumulative passes
+``shuffle``     0.45   bit/byte transposes, strided permutes
+``gather``      0.40   table lookups, interpolation neighbor fetches
+``histogram``   0.30   atomics-heavy frequency counting
+``serial-ish``  0.05   poorly parallelizable codecs (CPU-style entropy)
+==============  =====  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KernelRecord", "KernelTrace", "EFFICIENCY"]
+
+EFFICIENCY = {
+    "streaming": 0.85,
+    "scan": 0.60,
+    "shuffle": 0.45,
+    "gather": 0.40,
+    "histogram": 0.30,
+    "serial-ish": 0.05,
+}
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """One simulated kernel launch."""
+
+    name: str
+    bytes_read: int
+    bytes_written: int
+    flops: int = 0
+    efficiency_class: str = "streaming"
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def __post_init__(self):
+        if self.efficiency_class not in EFFICIENCY:
+            raise ValueError(f"unknown efficiency class {self.efficiency_class!r}")
+
+
+@dataclass
+class KernelTrace:
+    """Ordered kernel launches of one compression or decompression run."""
+
+    records: list[KernelRecord] = field(default_factory=list)
+
+    def launch(
+        self,
+        name: str,
+        bytes_read: int,
+        bytes_written: int,
+        flops: int = 0,
+        efficiency_class: str = "streaming",
+    ) -> None:
+        self.records.append(
+            KernelRecord(name, int(bytes_read), int(bytes_written), int(flops), efficiency_class)
+        )
+
+    def extend(self, other: "KernelTrace") -> None:
+        self.records.extend(other.records)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.bytes_moved for r in self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)

@@ -1,0 +1,27 @@
+"""Evaluation metrics (paper §6.1.4): error, size and structural quality."""
+
+from .error import (
+    max_abs_error,
+    nrmse,
+    psnr,
+    rmse,
+    value_range,
+    verify_error_bound,
+)
+from .ratio import bitrate, bitrate_to_cr, blob_stats, compression_ratio, cr_to_bitrate
+from .ssim import ssim2d
+
+__all__ = [
+    "max_abs_error",
+    "rmse",
+    "nrmse",
+    "psnr",
+    "value_range",
+    "verify_error_bound",
+    "compression_ratio",
+    "bitrate",
+    "bitrate_to_cr",
+    "cr_to_bitrate",
+    "blob_stats",
+    "ssim2d",
+]

@@ -1,0 +1,62 @@
+"""Reconstruction-quality metrics (paper §6.1.4).
+
+PSNR follows the Z-checker definition the paper cites: peak = value range of
+the *original* field, error = RMSE of the reconstruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "max_abs_error",
+    "rmse",
+    "nrmse",
+    "psnr",
+    "value_range",
+    "verify_error_bound",
+]
+
+
+def _f64(a: np.ndarray) -> np.ndarray:
+    return np.asarray(a, dtype=np.float64)
+
+
+def value_range(data: np.ndarray) -> float:
+    """Max minus min over finite values (the PSNR peak and rel-eb scale)."""
+    d = _f64(data)
+    finite = d[np.isfinite(d)]
+    if finite.size == 0:
+        return 0.0
+    return float(finite.max() - finite.min())
+
+
+def max_abs_error(original: np.ndarray, recon: np.ndarray) -> float:
+    return float(np.max(np.abs(_f64(original) - _f64(recon))))
+
+
+def rmse(original: np.ndarray, recon: np.ndarray) -> float:
+    diff = _f64(original) - _f64(recon)
+    return float(np.sqrt(np.mean(diff * diff)))
+
+
+def nrmse(original: np.ndarray, recon: np.ndarray) -> float:
+    """RMSE normalized by the original value range."""
+    vr = value_range(original)
+    return rmse(original, recon) / vr if vr > 0 else float("inf")
+
+
+def psnr(original: np.ndarray, recon: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (Z-checker convention)."""
+    e = rmse(original, recon)
+    vr = value_range(original)
+    if e == 0.0:
+        return float("inf")
+    if vr == 0.0:
+        return float("-inf")
+    return 20.0 * np.log10(vr / e)
+
+
+def verify_error_bound(original: np.ndarray, recon: np.ndarray, eb: float) -> bool:
+    """True iff every point satisfies ``|x - x'| <= eb`` (Eq. 1)."""
+    return max_abs_error(original, recon) <= eb

@@ -1,0 +1,49 @@
+"""Size metrics: compression ratio and bitrate (paper §6.1.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["compression_ratio", "bitrate", "bitrate_to_cr", "cr_to_bitrate"]
+
+
+def compression_ratio(original_nbytes: int, compressed_nbytes: int) -> float:
+    """Original size over compressed size (> 1 means reduction)."""
+    if compressed_nbytes <= 0:
+        raise ValueError("compressed size must be positive")
+    return original_nbytes / compressed_nbytes
+
+
+def bitrate(n_elements: int, compressed_nbytes: int) -> float:
+    """Average compressed bits per original element."""
+    if n_elements <= 0:
+        raise ValueError("element count must be positive")
+    return 8.0 * compressed_nbytes / n_elements
+
+
+def bitrate_to_cr(rate_bits: float, itemsize: int = 4) -> float:
+    """Convert bits/value to CR for ``itemsize``-byte inputs (paper: 32/CR)."""
+    if rate_bits <= 0:
+        raise ValueError("bitrate must be positive")
+    return 8.0 * itemsize / rate_bits
+
+
+def cr_to_bitrate(cr: float, itemsize: int = 4) -> float:
+    if cr <= 0:
+        raise ValueError("CR must be positive")
+    return 8.0 * itemsize / cr
+
+
+def blob_stats(blob) -> dict:
+    """Summary dict for a :class:`~repro.core.container.CompressedBlob`."""
+    return {
+        "codec": blob.codec,
+        "shape": tuple(int(d) for d in blob.shape),
+        "cr": blob.compression_ratio,
+        "bitrate": blob.bitrate,
+        "nbytes": blob.nbytes,
+        "segments": blob.segment_sizes(),
+    }
+
+
+__all__.append("blob_stats")

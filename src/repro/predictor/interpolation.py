@@ -1,0 +1,278 @@
+"""Multi-level interpolation predictor — the lossy half of cuSZ-Hi (§5.1).
+
+The predictor losslessly stores a sparse *anchor grid* (stride ``A`` per
+dimension; 16 for cuSZ-Hi, 8 for cuSZ-I) and fills everything else by
+hierarchical spline interpolation, coarse to fine.  Each level halves the
+stride; within a level, prediction passes run either
+
+* the **multi-dimensional scheme** (``"md"``, Fig. 4b): edge centers by 1-D
+  splines, then face centers averaging two dimensions, then body centers
+  averaging three — with the paper's rule that only the *highest spline
+  order* achieved among the candidate dimensions participates in the average;
+* or the **dimension-sequential scheme** (``"1d"``, Fig. 4a) used by cuSZ-I.
+
+Prediction errors are quantized to one-byte codes (§5.2.1) against the
+*reconstructed* field, so decompression replays the identical pass sequence
+and the error bound is guaranteed by construction.  Out-of-range codes (and
+any value whose reconstruction would breach the bound after casting back to
+the storage dtype) are emitted as outliers: code byte 0 plus the exact value.
+
+GPU mapping: in CUDA each 17^3 block is one thread block; here every pass is
+a whole-array gather/scatter over an open mesh (``np.ix_``), i.e. all thread
+blocks of a level advance in one fused vector operation.  Interpolation is
+performed globally (no halo truncation at block borders); DESIGN.md §3
+records this as the one deliberate deviation from the CUDA kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from .splines import SPLINES, axis_predict
+
+__all__ = [
+    "LevelConfig",
+    "PredictorResult",
+    "InterpolationPredictor",
+    "level_strides",
+    "level_passes",
+]
+
+
+@dataclass(frozen=True)
+class LevelConfig:
+    """Interpolation configuration of one level: scheme + spline family."""
+
+    scheme: str = "md"  # "md" | "1d"
+    spline: str = "cubic"
+
+    def __post_init__(self):
+        if self.scheme not in ("md", "1d"):
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+        if self.spline not in SPLINES:
+            raise ValueError(f"unknown spline {self.spline!r}")
+
+    def encode(self) -> str:
+        return f"{self.scheme}:{self.spline}"
+
+    @classmethod
+    def decode(cls, s: str) -> "LevelConfig":
+        scheme, spline = s.split(":")
+        return cls(scheme, spline)
+
+
+@dataclass
+class PredictorResult:
+    """Everything the lossless stage needs, plus the reconstruction."""
+
+    codes: np.ndarray  # uint8, data layout; 128-centered, 0 = outlier
+    anchors: np.ndarray  # raw anchor values, anchor-grid layout
+    outlier_values: np.ndarray  # exact values for code==0 positions, flat order
+    recon: np.ndarray  # reconstructed field (input dtype)
+    level_configs: dict[int, LevelConfig] = field(default_factory=dict)
+
+
+def level_strides(anchor_stride: int) -> list[int]:
+    """Prediction strides from coarse to fine: ``A/2, A/4, ..., 1``."""
+    if anchor_stride < 2 or anchor_stride & (anchor_stride - 1):
+        raise ValueError("anchor_stride must be a power of two >= 2")
+    out = []
+    s = anchor_stride // 2
+    while s >= 1:
+        out.append(s)
+        s //= 2
+    return out
+
+
+def level_passes(shape: tuple[int, ...], stride: int, scheme: str):
+    """Yield ``(vectors, axes)`` for each prediction pass of one level.
+
+    ``vectors`` are per-axis index vectors forming the target open mesh;
+    ``axes`` are the dimensions whose coordinate is an odd multiple of
+    ``stride`` (the dimensions interpolated along).
+    """
+    nd = len(shape)
+    s = stride
+    if scheme == "1d":
+        for d in range(nd):
+            vectors = []
+            for j, dim in enumerate(shape):
+                if j < d:
+                    vectors.append(np.arange(0, dim, s))
+                elif j == d:
+                    vectors.append(np.arange(s, dim, 2 * s))
+                else:
+                    vectors.append(np.arange(0, dim, 2 * s))
+            yield vectors, (d,)
+    elif scheme == "md":
+        for k in range(1, nd + 1):
+            for S in combinations(range(nd), k):
+                vectors = [
+                    np.arange(s, dim, 2 * s) if j in S else np.arange(0, dim, 2 * s)
+                    for j, dim in enumerate(shape)
+                ]
+                yield vectors, S
+    else:  # pragma: no cover - guarded by LevelConfig
+        raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def _predict_block(
+    R: np.ndarray, vectors: list[np.ndarray], axes: tuple[int, ...], s: int, spline: str
+) -> np.ndarray:
+    """Combined prediction for one pass (highest-order-wins averaging)."""
+    if len(axes) == 1:
+        pred, _ = axis_predict(R, axes[0], vectors, s, spline)
+        return pred
+    preds = []
+    orders = []
+    for d in axes:
+        p, o = axis_predict(R, d, vectors, s, spline)
+        preds.append(p)
+        orders.append(np.broadcast_to(o, p.shape))
+    P = np.stack(preds)
+    O = np.stack(orders)
+    max_order = O.max(axis=0)
+    W = O == max_order
+    return (P * W).sum(axis=0) / W.sum(axis=0)
+
+
+class InterpolationPredictor:
+    """Anchor-grid + hierarchical spline predictor with byte quantization."""
+
+    def __init__(self, anchor_stride: int = 16):
+        self.anchor_stride = anchor_stride
+        self.strides = None  # set per-array in compress/decompress
+
+    # ------------------------------------------------------------- helpers
+    def _anchor_vectors(self, shape: tuple[int, ...]) -> list[np.ndarray]:
+        return [np.arange(0, dim, self.anchor_stride) for dim in shape]
+
+    @staticmethod
+    def _flat_indices(vectors: list[np.ndarray], mask_idx: tuple[np.ndarray, ...], shape) -> np.ndarray:
+        coords = tuple(vectors[d][mask_idx[d]] for d in range(len(vectors)))
+        return np.ravel_multi_index(coords, shape)
+
+    # ------------------------------------------------------------ compress
+    def compress(
+        self,
+        data: np.ndarray,
+        eb: float,
+        level_configs: dict[int, LevelConfig] | None = None,
+    ) -> PredictorResult:
+        """Decompose ``data`` into quantization codes under absolute bound ``eb``.
+
+        ``level_configs`` maps stride -> :class:`LevelConfig`; missing levels
+        default to the md/cubic configuration.
+        """
+        if eb <= 0:
+            raise ValueError("error bound must be positive")
+        data = np.asarray(data)
+        shape = data.shape
+        dtype = data.dtype
+        X = data.astype(np.float64, copy=False)
+        R = np.zeros(shape, dtype=np.float64)
+        codes = np.full(shape, 128, dtype=np.uint8)
+        strides = level_strides(self.anchor_stride)
+        configs = {s: (level_configs or {}).get(s, LevelConfig()) for s in strides}
+
+        avec = self._anchor_vectors(shape)
+        anchor_mesh = np.ix_(*avec)
+        anchors = data[anchor_mesh].copy()
+        R[anchor_mesh] = anchors.astype(np.float64)
+
+        twoeb = 2.0 * eb
+        for s in strides:
+            cfg = configs[s]
+            for vectors, axes in level_passes(shape, s, cfg.scheme):
+                if any(v.size == 0 for v in vectors):
+                    continue
+                mesh = np.ix_(*vectors)
+                pred = _predict_block(R, vectors, axes, s, cfg.spline)
+                x = X[mesh]
+                q = np.rint((x - pred) / twoeb)
+                recon = pred + q * twoeb
+                # The stored field is cast back to the input dtype; validate
+                # the bound against that representation.
+                recon_cast = recon.astype(dtype).astype(np.float64)
+                outlier = (np.abs(q) > 127) | (np.abs(x - recon_cast) > eb) | ~np.isfinite(q)
+                byte = np.where(outlier, 0.0, q + 128.0).astype(np.uint8)
+                recon = np.where(outlier, x, recon)
+                R[mesh] = recon
+                codes[mesh] = byte
+
+        out_pos = np.flatnonzero(codes.reshape(-1) == 0)
+        # Anchor positions can never be outliers (byte 128), so out_pos are
+        # exactly the predicted points flagged above, in flat scan order.
+        outlier_values = data.reshape(-1)[out_pos].copy()
+        return PredictorResult(
+            codes=codes,
+            anchors=anchors,
+            outlier_values=outlier_values,
+            recon=R.astype(dtype),
+            level_configs=configs,
+        )
+
+    # ---------------------------------------------------------- decompress
+    def decompress(
+        self,
+        codes: np.ndarray,
+        anchors: np.ndarray,
+        outlier_values: np.ndarray,
+        shape: tuple[int, ...],
+        eb: float,
+        level_configs: dict[int, LevelConfig],
+        dtype: np.dtype,
+    ) -> np.ndarray:
+        """Replay the prediction passes and rebuild the field exactly."""
+        R = np.zeros(shape, dtype=np.float64)
+        avec = self._anchor_vectors(shape)
+        R[np.ix_(*avec)] = anchors.astype(np.float64)
+
+        out_pos = np.flatnonzero(codes.reshape(-1) == 0)
+        outlier_values = np.asarray(outlier_values)
+        strides = level_strides(self.anchor_stride)
+        twoeb = 2.0 * eb
+        for s in strides:
+            cfg = level_configs.get(s, LevelConfig())
+            for vectors, axes in level_passes(shape, s, cfg.scheme):
+                if any(v.size == 0 for v in vectors):
+                    continue
+                mesh = np.ix_(*vectors)
+                pred = _predict_block(R, vectors, axes, s, cfg.spline)
+                byte = codes[mesh]
+                q = byte.astype(np.float64) - 128.0
+                recon = pred + q * twoeb
+                omask = byte == 0
+                if omask.any():
+                    midx = np.nonzero(omask)
+                    flat = self._flat_indices(vectors, midx, shape)
+                    vidx = np.searchsorted(out_pos, flat)
+                    recon[midx] = outlier_values[vidx].astype(np.float64)
+                R[mesh] = recon
+        return R.astype(dtype)
+
+    # ------------------------------------------------------------- dry run
+    def pass_error(
+        self,
+        X: np.ndarray,
+        stride: int,
+        config: LevelConfig,
+    ) -> float:
+        """Sum of absolute prediction errors of one level on raw values.
+
+        Auto-tuning (§5.1.3) scores candidate configurations by predicting a
+        level's points *from the original data* — the cheap surrogate QoZ
+        introduced — so no quantization state is needed.
+        """
+        Xf = X.astype(np.float64, copy=False)
+        total = 0.0
+        for vectors, axes in level_passes(X.shape, stride, config.scheme):
+            if any(v.size == 0 for v in vectors):
+                continue
+            mesh = np.ix_(*vectors)
+            pred = _predict_block(Xf, vectors, axes, stride, config.spline)
+            total += float(np.abs(Xf[mesh] - pred).sum())
+        return total

@@ -1,0 +1,69 @@
+"""cuSZp2-style 1-D offset (delta) prediction on the pre-quantized stream.
+
+cuSZp2 flattens the field, pre-quantizes, and predicts each value by its
+immediate predecessor *within a fixed-size block* (blocks are independent so
+thread blocks never synchronize).  The first element of each block is
+predicted by zero, i.e. stores its full pre-quantized value — which is why
+cuSZp's ratio saturates early on smooth data (paper Table 4's cuSZp2 column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..quantizer.linear import prequantize
+
+__all__ = ["OffsetResult", "offset_encode", "offset_decode"]
+
+BLOCK = 32
+
+
+@dataclass
+class OffsetResult:
+    residuals: np.ndarray  # int32, flat
+    outlier_pos: np.ndarray
+    outlier_values: np.ndarray
+    recon: np.ndarray
+
+
+def offset_encode(data: np.ndarray, eb: float, block: int = BLOCK) -> OffsetResult:
+    data = np.asarray(data)
+    pq = prequantize(data, eb)
+    q = pq.q.reshape(-1)
+    outlier_pos, outlier_values, recon = pq.outlier_pos, pq.outlier_values, pq.recon
+
+    resid = q.copy()
+    resid[1:] -= q[:-1]
+    # Block heads predict from zero: restore their absolute value.
+    heads = np.arange(0, q.size, block)
+    resid[heads] = q[heads]
+    return OffsetResult(
+        residuals=resid.astype(np.int32),
+        outlier_pos=outlier_pos,
+        outlier_values=outlier_values,
+        recon=recon,
+    )
+
+
+def offset_decode(
+    residuals: np.ndarray,
+    shape: tuple[int, ...],
+    eb: float,
+    dtype: np.dtype,
+    outlier_pos: np.ndarray | None = None,
+    outlier_values: np.ndarray | None = None,
+    block: int = BLOCK,
+) -> np.ndarray:
+    n = int(np.prod(shape))
+    r = residuals.astype(np.int64)[:n]
+    nblocks = (n + block - 1) // block
+    padded = np.zeros(nblocks * block, dtype=np.int64)
+    padded[:n] = r
+    # Per-block inclusive scan, vectorized across blocks.
+    q = padded.reshape(nblocks, block).cumsum(axis=1).reshape(-1)[:n]
+    out = (q.astype(np.float64) * (2.0 * eb)).astype(dtype)
+    if outlier_pos is not None and outlier_pos.size:
+        out[outlier_pos] = outlier_values
+    return out.reshape(shape)

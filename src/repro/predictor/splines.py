@@ -1,0 +1,114 @@
+"""Spline interpolation kernels for the cuSZ-Hi data predictor (paper §5.1).
+
+A prediction pass fills the mid-points of a stride-``2s`` grid along one axis
+using the already-reconstructed values at ``t-3s, t-s, t+s, t+3s``.  Three
+spline families are selectable per level by the auto-tuner (§5.1.3):
+
+``linear``
+    ``(v[-s] + v[+s]) / 2`` — robust on noisy data.
+``cubic``
+    the SZ3 4-point cubic ``(-1, 9, 9, -1)/16`` with one-sided quadratic
+    boundary forms ``(-1, 6, 3)/8`` and ``(3, 6, -1)/8``.
+``natural_cubic``
+    the not-a-knot variant ``(-3, 23, 23, -3)/40`` used by QoZ/HPEZ for
+    smoother fields.
+
+Every kernel is evaluated for a whole open-mesh block of targets at once
+(:func:`axis_predict`), with availability handled by 1-D masks along the
+interpolation axis broadcast across the block — the NumPy analogue of the
+fully parallel per-thread interpolation in Fig. 4.
+
+The returned *order* array implements the paper's highest-order-wins rule for
+multi-dimensional averaging: 3 = 4-point spline, 2 = one-sided quadratic,
+1 = linear, 0 = nearest-known copy (unaligned boundary tail).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SPLINES", "axis_predict", "spline_weights"]
+
+#: interior 4-point weights per spline family (applied to m3, m1, p1, p3)
+SPLINES: dict[str, tuple[float, float, float, float]] = {
+    "linear": (0.0, 0.5, 0.5, 0.0),
+    "cubic": (-1.0 / 16, 9.0 / 16, 9.0 / 16, -1.0 / 16),
+    "natural_cubic": (-3.0 / 40, 23.0 / 40, 23.0 / 40, -3.0 / 40),
+}
+
+#: one-sided quadratic boundary forms shared by the cubic families
+_QUAD_LEFT = (-1.0 / 8, 6.0 / 8, 3.0 / 8)  # uses m3, m1, p1
+_QUAD_RIGHT = (3.0 / 8, 6.0 / 8, -1.0 / 8)  # uses m1, p1, p3
+
+
+def spline_weights(name: str) -> tuple[float, float, float, float]:
+    """Interior weights for ``name``; raises ``KeyError`` for unknown names."""
+    return SPLINES[name]
+
+
+def axis_predict(
+    R: np.ndarray,
+    axis: int,
+    vectors: list[np.ndarray],
+    stride: int,
+    spline: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Predict ``R`` at the open mesh ``np.ix_(*vectors)`` along ``axis``.
+
+    ``vectors[axis]`` holds the target coordinates (odd multiples of
+    ``stride``); the other vectors address already-known grid lines.  Returns
+    ``(pred, order)`` where ``pred`` has the block shape and ``order`` is
+    broadcastable to it (constant along every axis except ``axis``).
+    """
+    if spline not in SPLINES:
+        raise KeyError(f"unknown spline {spline!r}")
+    dim = R.shape[axis]
+    t = np.asarray(vectors[axis], dtype=np.int64)
+    s = int(stride)
+
+    def grab(offset: int) -> np.ndarray:
+        idx = np.clip(t + offset, 0, dim - 1)
+        vecs = list(vectors)
+        vecs[axis] = idx
+        return R[np.ix_(*vecs)]
+
+    m1 = grab(-s)
+    p1 = grab(+s)
+
+    has_p1 = (t + s) <= dim - 1  # t - s >= 0 always holds (t >= s)
+    shape = [1] * R.ndim
+    shape[axis] = t.size
+    has_p1_b = has_p1.reshape(shape)
+
+    if spline == "linear":
+        pred = np.where(has_p1_b, 0.5 * (m1 + p1), m1)
+        order = np.where(has_p1, 1, 0).reshape(shape)
+        return pred, order
+
+    m3 = grab(-3 * s)
+    p3 = grab(+3 * s)
+    has_m3 = (t - 3 * s) >= 0
+    has_p3 = (t + 3 * s) <= dim - 1
+
+    w = SPLINES[spline]
+    full = has_m3 & has_p3 & has_p1
+    quad_l = has_m3 & has_p1 & ~has_p3
+    quad_r = ~has_m3 & has_p1 & has_p3
+    lin = has_p1 & ~(full | quad_l | quad_r)
+
+    pred_full = w[0] * m3 + w[1] * m1 + w[2] * p1 + w[3] * p3
+    pred_ql = _QUAD_LEFT[0] * m3 + _QUAD_LEFT[1] * m1 + _QUAD_LEFT[2] * p1
+    pred_qr = _QUAD_RIGHT[0] * m1 + _QUAD_RIGHT[1] * p1 + _QUAD_RIGHT[2] * p3
+    pred_lin = 0.5 * (m1 + p1)
+
+    pred = np.where(
+        full.reshape(shape),
+        pred_full,
+        np.where(
+            quad_l.reshape(shape),
+            pred_ql,
+            np.where(quad_r.reshape(shape), pred_qr, np.where(has_p1_b, pred_lin, m1)),
+        ),
+    )
+    order = np.where(full, 3, np.where(quad_l | quad_r, 2, np.where(lin, 1, 0))).reshape(shape)
+    return pred, order

@@ -1,0 +1,13 @@
+"""Error-bounded quantization subsystem (paper §3.1, §5.2.1)."""
+
+from .folding import fold_residuals, unfold_residuals
+from .linear import ByteQuantizer, PrequantResult, prequantize, reconstruct
+
+__all__ = [
+    "ByteQuantizer",
+    "PrequantResult",
+    "prequantize",
+    "reconstruct",
+    "fold_residuals",
+    "unfold_residuals",
+]

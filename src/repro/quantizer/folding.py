@@ -1,0 +1,49 @@
+"""Escape-folding of integer residual streams into narrow symbols.
+
+The Lorenzo-family baselines produce int32 residual streams whose mass sits
+in a tiny band around zero.  Folding maps the band into a narrow unsigned
+symbol (one or two bytes) and routes the rare out-of-band values through an
+escape marker plus a side array — the same outlier discipline cuSZ applies
+to its quantization codes (§5.2.1), generalized over symbol width.
+
+Symbol layout for width ``w`` bytes: center ``2^(8w-1)``, radius
+``2^(8w-1) - 1``, marker ``0``.  Escaped values are stored in stream order,
+so decoding is a single ``searchsorted``-free sequential fill (the n-th
+marker takes the n-th escape value).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fold_residuals", "unfold_residuals"]
+
+_UDTYPE = {1: np.uint8, 2: np.uint16}
+
+
+def fold_residuals(residuals: np.ndarray, width: int = 1) -> tuple[np.ndarray, np.ndarray]:
+    """Fold int residuals to ``width``-byte symbols; returns ``(codes, escapes)``."""
+    if width not in _UDTYPE:
+        raise ValueError("width must be 1 or 2")
+    r = np.asarray(residuals, dtype=np.int64).reshape(-1)
+    center = 1 << (8 * width - 1)
+    radius = center - 1
+    escape = np.abs(r) > radius
+    codes = np.where(escape, 0, r + center).astype(_UDTYPE[width])
+    return codes, r[escape].astype(np.int32)
+
+
+def unfold_residuals(codes: np.ndarray, escapes: np.ndarray, width: int = 1) -> np.ndarray:
+    """Rebuild the int32 residual stream from folded codes + escape array."""
+    if width not in _UDTYPE:
+        raise ValueError("width must be 1 or 2")
+    c = np.asarray(codes).reshape(-1).astype(np.int64)
+    center = 1 << (8 * width - 1)
+    r = c - center
+    mask = c == 0
+    n_escape = int(mask.sum())
+    if n_escape != np.asarray(escapes).size:
+        raise ValueError("escape count mismatch")
+    if n_escape:
+        r[mask] = np.asarray(escapes, dtype=np.int64)
+    return r.astype(np.int32)

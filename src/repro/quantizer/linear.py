@@ -1,0 +1,119 @@
+"""Error-bounded linear (uniform scalar) quantization (paper §3.1, §5.2.1).
+
+Two quantization styles exist in the cuSZ family and both live here:
+
+* :func:`prequantize` — the *dual-quant* front end of Lorenzo/offset
+  predictors: ``q = round(x / 2eb)`` turns the field into integers before any
+  prediction, so the predictor itself is exact integer arithmetic.  Values
+  that saturate the integer range (or are non-finite) become exact outliers.
+* :class:`ByteQuantizer` — the interpolation-path residual quantizer: the
+  prediction residual is quantized and *folded into one byte* (§5.2.1),
+  128-centered, with byte 0 reserved as the outlier escape marker.
+
+Both guarantee ``|x - x'| <= eb`` for every element, including after the
+reconstruction is cast back to the storage dtype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PrequantResult", "prequantize", "reconstruct", "ByteQuantizer"]
+
+#: saturation threshold for dual-quant integers (fits int32 after prediction)
+SATURATION = 2**30
+
+
+@dataclass
+class PrequantResult:
+    """Integer field + exact-outlier records of a dual-quant pass."""
+
+    q: np.ndarray  # int64 pre-quantized integers (0 at outliers)
+    outlier_pos: np.ndarray  # flat positions of saturated / non-finite values
+    outlier_values: np.ndarray  # exact input values there
+    recon: np.ndarray  # bound-respecting reconstruction (input dtype)
+
+
+def prequantize(data: np.ndarray, eb: float) -> PrequantResult:
+    """Pre-quantize ``data`` to integers under absolute bound ``eb``.
+
+    The bound is validated against the reconstruction *after* casting back to
+    the storage dtype: ``2eb * round(x/2eb)`` respects the bound in exact
+    arithmetic but the float32 cast can overshoot by an ulp, so any violating
+    point joins the exact-outlier set.
+    """
+    if eb <= 0:
+        raise ValueError("error bound must be positive")
+    data = np.asarray(data)
+    twoeb = 2.0 * eb
+    x = data.astype(np.float64)
+    qf = np.rint(x / twoeb)
+    saturated = (np.abs(qf) > SATURATION) | ~np.isfinite(qf)
+    qf = np.where(saturated, 0.0, qf)
+    q = qf.astype(np.int64)
+    recon = (q.astype(np.float64) * twoeb).astype(data.dtype)
+    violates = np.abs(x - recon.astype(np.float64)) > eb
+    outlier_mask = saturated | violates
+    outlier_pos = np.flatnonzero(outlier_mask.reshape(-1))
+    outlier_values = data.reshape(-1)[outlier_pos].copy()
+    if outlier_pos.size:
+        recon.reshape(-1)[outlier_pos] = outlier_values
+    return PrequantResult(q=q, outlier_pos=outlier_pos, outlier_values=outlier_values, recon=recon)
+
+
+def reconstruct(
+    q: np.ndarray,
+    eb: float,
+    dtype: np.dtype,
+    outlier_pos: np.ndarray | None = None,
+    outlier_values: np.ndarray | None = None,
+) -> np.ndarray:
+    """Rebuild the field from dual-quant integers and outlier records."""
+    out = (np.asarray(q, dtype=np.float64) * (2.0 * eb)).astype(dtype)
+    if outlier_pos is not None and outlier_pos is not False and np.size(outlier_pos):
+        out.reshape(-1)[np.asarray(outlier_pos)] = outlier_values
+    return out
+
+
+class ByteQuantizer:
+    """Residual quantizer with one-byte folded codes (128-centered).
+
+    ``quantize`` maps residual integers ``q in [-127, 127]`` to bytes
+    ``q + 128``; anything else escapes through byte 0 and an exact value.
+    This is the §5.2.1 design: one-byte symbols keep downstream bit patterns
+    simple and make Huffman tables small.
+    """
+
+    CENTER = 128
+    RADIUS = 127
+
+    def __init__(self, eb: float):
+        if eb <= 0:
+            raise ValueError("error bound must be positive")
+        self.eb = float(eb)
+
+    def quantize(
+        self, values: np.ndarray, predictions: np.ndarray, dtype: np.dtype
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Quantize residuals; returns ``(codes_u8, recon_f64, outlier_mask)``.
+
+        ``recon`` holds exact input values at outlier positions so the caller
+        can continue predicting from a bound-respecting field.
+        """
+        twoeb = 2.0 * self.eb
+        x = np.asarray(values, dtype=np.float64)
+        pred = np.asarray(predictions, dtype=np.float64)
+        q = np.rint((x - pred) / twoeb)
+        recon = pred + q * twoeb
+        recon_cast = recon.astype(dtype).astype(np.float64)
+        outlier = (np.abs(q) > self.RADIUS) | (np.abs(x - recon_cast) > self.eb) | ~np.isfinite(q)
+        codes = np.where(outlier, 0.0, q + float(self.CENTER)).astype(np.uint8)
+        recon = np.where(outlier, x, recon)
+        return codes, recon, outlier
+
+    def dequantize(self, codes: np.ndarray, predictions: np.ndarray) -> np.ndarray:
+        """Reconstruct non-outlier positions (outliers are the caller's)."""
+        q = codes.astype(np.float64) - float(self.CENTER)
+        return np.asarray(predictions, dtype=np.float64) + q * (2.0 * self.eb)

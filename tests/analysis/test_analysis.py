@@ -1,0 +1,120 @@
+"""Analysis harnesses: case runner, rate-distortion, ablation, viz report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ABLATION_STEPS,
+    EVAL_ORDER,
+    artifact_score,
+    ascii_heatmap,
+    format_table,
+    make_compressor,
+    rd_curve,
+    rd_curve_zfp,
+    run_ablation,
+    run_case,
+    run_fixed_rate_case,
+    slice_report,
+    take_slice,
+)
+from repro.datasets import load
+from repro.gpu.device import A100_SXM_80GB
+
+
+@pytest.fixture(scope="module")
+def field():
+    return load("miranda", shape=(32, 48, 48))
+
+
+class TestHarness:
+    def test_eval_order_complete(self):
+        assert set(EVAL_ORDER) == {
+            "cusz-hi-cr", "cusz-hi-tp", "cusz-l", "cusz-i", "cusz-ib", "cuszp2", "fzgpu"
+        }
+
+    def test_run_case_metrics(self, field):
+        r = run_case("cusz-hi-cr", field, 1e-3, devices=(A100_SXM_80GB,))
+        assert r.cr > 1
+        assert r.max_err <= r.abs_eb
+        assert r.psnr > 30
+        assert A100_SXM_80GB.name in r.comp_gibs
+        assert r.bitrate == pytest.approx(8 * r.blob_nbytes / field.size, rel=1e-6)
+
+    def test_fixed_rate_case(self, field):
+        r = run_fixed_rate_case(field, 8.0, devices=(A100_SXM_80GB,))
+        assert r.compressor == "cuzfp"
+        assert 3 < r.cr < 6
+
+    def test_unknown_compressor(self, field):
+        with pytest.raises(KeyError):
+            make_compressor("gzip")
+
+
+class TestRateDistortion:
+    def test_monotone_psnr_vs_eb(self, field):
+        curve = rd_curve("cusz-hi-tp", field, ebs=(1e-2, 1e-3, 1e-4))
+        ps = curve.psnrs()
+        assert ps[0] < ps[1] < ps[2]  # tighter bound -> higher PSNR
+        br = curve.bitrates()
+        assert br[0] < br[2]  # tighter bound -> more bits
+
+    def test_zfp_curve(self, field):
+        curve = rd_curve_zfp(field, rates=(4.0, 8.0, 16.0))
+        assert curve.psnrs()[0] < curve.psnrs()[-1]
+
+    def test_interp_query(self, field):
+        curve = rd_curve("cusz-l", field, ebs=(1e-2, 1e-4))
+        mid = curve.psnr_at_bitrate(float(np.mean(curve.bitrates())))
+        assert min(curve.psnrs()) <= mid <= max(curve.psnrs())
+
+
+class TestAblation:
+    def test_steps_match_table5(self):
+        labels = [l for l, _ in ABLATION_STEPS]
+        assert labels == [
+            "cusz-ib", "+partition/anchor", "+code reorder",
+            "+md-interp/autotune", "cusz-hi-cr",
+        ]
+
+    def test_run_ablation(self, field):
+        row = run_ablation("miranda", field, 1e-2)
+        assert set(row.crs) == {l for l, _ in ABLATION_STEPS}
+        cum = row.cumulative()
+        assert cum["cusz-ib"] == 1.0
+        # The full stack must end up ahead of the baseline (Table 5).
+        assert cum["cusz-hi-cr"] > 1.0
+        incs = row.increments()
+        assert len(incs) == 4
+
+
+class TestVisualization:
+    def test_take_slice_shapes(self, field):
+        assert take_slice(field).shape == (48, 48)
+        assert take_slice(field, axis=2, index=5).shape == (32, 48)
+        d4 = np.zeros((3, 4, 5, 6))
+        assert take_slice(d4, axis=0).ndim == 2
+
+    def test_artifact_score_range(self, field, rng):
+        recon_smooth = field + 0.01
+        recon_gritty = field + 0.01 * rng.standard_normal(field.shape).astype(np.float32)
+        assert artifact_score(field, recon_smooth) < 0.1
+        assert artifact_score(field, recon_gritty) > 0.5
+        assert artifact_score(field, field) == 0.0
+
+    def test_slice_report_keys(self, field):
+        rep = slice_report(field, field + 1e-4)
+        assert set(rep) == {"slice_psnr", "slice_ssim", "artifact_score"}
+
+    def test_ascii_heatmap(self, smooth2d):
+        art = ascii_heatmap(smooth2d, width=20, height=8)
+        lines = art.splitlines()
+        assert len(lines) == 8 and all(len(l) == 20 for l in lines)
+
+
+def test_format_table():
+    out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "---" in lines[2]
+    assert len(lines) == 5

@@ -1,0 +1,92 @@
+"""Quality-targeted compression and the Z-checker report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.target_quality import compress_to_psnr, compress_to_ratio
+from repro.analysis.zchecker import format_report, full_report
+from repro.datasets import load
+from repro.metrics import psnr
+
+
+@pytest.fixture(scope="module")
+def field():
+    return load("miranda", shape=(32, 48, 48))
+
+
+class TestTargetPsnr:
+    def test_meets_floor(self, field):
+        res = compress_to_psnr(field, 55.0)
+        assert res.psnr >= 55.0
+        assert res.cr > 1.0
+
+    def test_not_overly_conservative(self, field):
+        """The search must not burn 10 dB more than requested."""
+        res = compress_to_psnr(field, 55.0)
+        assert res.psnr < 75.0
+
+    def test_higher_target_costs_more(self, field):
+        lo = compress_to_psnr(field, 45.0)
+        hi = compress_to_psnr(field, 75.0)
+        assert hi.psnr > lo.psnr
+        assert hi.cr < lo.cr
+
+    def test_other_compressors(self, field):
+        res = compress_to_psnr(field, 50.0, compressor="cusz-l")
+        assert res.psnr >= 50.0
+
+
+class TestTargetRatio:
+    def test_hits_target(self, field):
+        res = compress_to_ratio(field, 30.0)
+        assert abs(res.cr - 30.0) / 30.0 < 0.15
+
+    def test_recon_consistent(self, field):
+        res = compress_to_ratio(field, 20.0)
+        assert psnr(field, res.recon) == pytest.approx(res.psnr)
+
+
+class TestZchecker:
+    def test_report_keys(self, field):
+        recon = field + np.float32(1e-4)
+        rep = full_report(field, recon, eb=1e-3)
+        for key in (
+            "max_abs_error", "rmse", "psnr", "pearson", "bound_utilization",
+            "spectral_err_low", "spectral_err_high", "central_slice_ssim",
+        ):
+            assert key in rep
+
+    def test_perfect_recon(self, field):
+        rep = full_report(field, field.copy())
+        assert rep["max_abs_error"] == 0.0
+        assert rep["pearson"] == pytest.approx(1.0)
+        assert rep["psnr"] == float("inf")
+
+    def test_bound_utilization(self, field):
+        from repro.core.compressor import CuszHi
+
+        comp = CuszHi(mode="cr")
+        blob = comp.compress(field, 1e-3)
+        recon = comp.decompress(blob)
+        rep = full_report(field, recon, eb=blob.error_bound)
+        assert 0.5 < rep["bound_utilization"] <= 1.0
+        assert 0.0 <= rep["frac_near_bound"] <= 1.0
+
+    def test_shape_mismatch(self, field):
+        with pytest.raises(ValueError):
+            full_report(field, field[:-1])
+
+    def test_spectral_errors_grow_with_eb(self, field):
+        from repro.core.compressor import CuszHi
+
+        reps = []
+        for eb in (1e-4, 1e-2):
+            comp = CuszHi(mode="cr")
+            recon = comp.decompress(comp.compress(field, eb))
+            reps.append(full_report(field, recon))
+        assert reps[1]["spectral_err_high"] >= reps[0]["spectral_err_high"]
+
+    def test_format_report(self, field):
+        rep = full_report(field, field + np.float32(1e-5))
+        text = format_report(rep)
+        assert "psnr" in text and "max_abs_error" in text

@@ -1,0 +1,106 @@
+"""cuZFP: transform exactness, blockify geometry, fixed-rate behaviour."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.cuzfp import (
+    FWD,
+    INV,
+    CuZfp,
+    _blockify,
+    _from_negabinary,
+    _pad_to_blocks,
+    _to_negabinary,
+    _unblockify,
+)
+from repro.metrics import psnr
+
+
+class TestTransform:
+    def test_matrices_are_inverses(self):
+        assert np.allclose(INV @ FWD, np.eye(4), atol=1e-12)
+
+    def test_fwd_decorrelates_constant_block(self):
+        block = np.full((1, 4, 4, 4), 7.0)
+        from repro.baselines.cuzfp import _transform
+
+        coeffs = _transform(block, FWD)
+        # DC coefficient holds the mean; all others vanish.
+        assert coeffs[0, 0, 0, 0] == pytest.approx(7.0)
+        assert np.abs(coeffs.reshape(-1)[1:]).max() < 1e-12
+
+
+class TestNegabinary:
+    def test_roundtrip(self, rng):
+        vals = rng.integers(-(2**29), 2**29, 1000).astype(np.int64)
+        u = _to_negabinary(vals)
+        back = _from_negabinary(u)
+        assert np.array_equal(back, vals)
+
+    def test_small_values_few_bits(self):
+        # Negabinary of 0 is 0 — zero blocks stay zero across planes.
+        assert _to_negabinary(np.array([0], np.int64))[0] == 0
+
+
+class TestBlockify:
+    @pytest.mark.parametrize("shape", [(8,), (8, 12), (4, 8, 12)])
+    def test_roundtrip(self, shape, rng):
+        data = rng.random(shape).astype(np.float32)
+        blocks = _blockify(data)
+        assert blocks.shape[1:] == (4,) * len(shape)
+        back = _unblockify(blocks, shape)
+        assert np.array_equal(back, data)
+
+    def test_padding(self):
+        data = np.arange(10, dtype=np.float32)
+        padded = _pad_to_blocks(data)
+        assert padded.shape == (12,)
+        assert padded[10] == padded[9]  # edge replication
+
+
+class TestCodec:
+    def test_fixed_rate_size(self, smooth3d):
+        comp = CuZfp(rate=8)
+        blob = comp.compress(smooth3d)
+        # 8 bits/value + container overhead -> CR a bit above 32/8 * planes...
+        assert 3.0 < blob.compression_ratio < 6.0
+
+    def test_rate_monotone_quality(self, smooth3d):
+        psnrs = []
+        for rate in (4, 8, 16):
+            comp = CuZfp(rate=rate)
+            out = comp.decompress(comp.compress(smooth3d))
+            psnrs.append(psnr(smooth3d, out))
+        assert psnrs[0] < psnrs[1] < psnrs[2]
+
+    def test_2d_roundtrip(self, smooth2d):
+        comp = CuZfp(rate=12)
+        out = comp.decompress(comp.compress(smooth2d))
+        assert out.shape == smooth2d.shape
+        assert psnr(smooth2d, out) > 30
+
+    def test_non_multiple_of_4_dims(self, rng):
+        data = rng.random((9, 11, 13)).astype(np.float32)
+        comp = CuZfp(rate=16)
+        out = comp.decompress(comp.compress(data))
+        assert out.shape == data.shape
+
+    def test_dispatch(self, smooth2d):
+        blob = CuZfp(rate=8).compress(smooth2d)
+        out = repro.decompress(blob.to_bytes())
+        assert out.shape == smooth2d.shape
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            CuZfp(rate=0)
+
+    def test_rejects_ints(self):
+        with pytest.raises(TypeError):
+            CuZfp().compress(np.zeros((4, 4), dtype=np.int32))
+
+    def test_zero_block_stability(self):
+        data = np.zeros((8, 8, 8), dtype=np.float32)
+        comp = CuZfp(rate=8)
+        out = comp.decompress(comp.compress(data))
+        assert np.abs(out).max() < 1e-6

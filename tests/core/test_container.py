@@ -1,0 +1,90 @@
+"""Container serialization, CRC integrity, and size accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.container import CompressedBlob, ContainerError
+
+
+def _blob():
+    blob = CompressedBlob(
+        codec=1,
+        shape=(10, 20, 30),
+        dtype=np.dtype(np.float32),
+        error_bound=1.5e-3,
+        meta={"pipeline": "HF", "levels": "8=md:cubic"},
+    )
+    blob.segments["codes"] = b"\x01\x02\x03" * 100
+    blob.put_array("anchors", np.arange(12, dtype=np.float32).reshape(3, 4))
+    blob.put_array("outliers", np.zeros(0, dtype=np.float32))
+    return blob
+
+
+class TestRoundtrip:
+    def test_full_roundtrip(self):
+        blob = _blob()
+        back = CompressedBlob.from_bytes(blob.to_bytes())
+        assert back.codec == blob.codec
+        assert back.shape == blob.shape
+        assert back.dtype == blob.dtype
+        assert back.error_bound == blob.error_bound
+        assert back.segments["codes"] == blob.segments["codes"]
+        assert back.meta["pipeline"] == "HF"
+        assert np.array_equal(back.get_array("anchors"), blob.get_array("anchors"))
+        assert back.get_array("outliers").size == 0
+
+    def test_float64_dtype(self):
+        blob = CompressedBlob(codec=2, shape=(4,), dtype=np.dtype(np.float64), error_bound=0.1)
+        back = CompressedBlob.from_bytes(blob.to_bytes())
+        assert back.dtype == np.float64
+
+    def test_empty_segments(self):
+        blob = CompressedBlob(codec=1, shape=(1,), dtype=np.dtype(np.float32), error_bound=1.0)
+        back = CompressedBlob.from_bytes(blob.to_bytes())
+        assert back.segments == {}
+
+    def test_array_shape_preserved(self):
+        blob = _blob()
+        blob.put_array("m", np.ones((2, 3, 4), dtype=np.int64))
+        back = CompressedBlob.from_bytes(blob.to_bytes())
+        assert back.get_array("m").shape == (2, 3, 4)
+        assert back.get_array("m").dtype == np.int64
+
+
+class TestIntegrity:
+    def test_bad_magic(self):
+        with pytest.raises(ContainerError, match="magic"):
+            CompressedBlob.from_bytes(b"XXXX" + b"\x00" * 100)
+
+    def test_crc_corruption_detected(self):
+        blob = _blob()
+        raw = bytearray(blob.to_bytes())
+        # Flip a byte inside the "codes" payload, located by content.
+        pos = bytes(raw).find(blob.segments["codes"])
+        assert pos > 0
+        raw[pos + 10] ^= 0xFF
+        with pytest.raises(ContainerError, match="CRC"):
+            CompressedBlob.from_bytes(bytes(raw))
+
+    def test_version_check(self):
+        raw = bytearray(_blob().to_bytes())
+        raw[4] = 99  # version field
+        with pytest.raises(ContainerError, match="version"):
+            CompressedBlob.from_bytes(bytes(raw))
+
+
+class TestAccounting:
+    def test_cr_counts_everything(self):
+        blob = _blob()
+        assert blob.nbytes == len(blob.to_bytes())
+        assert blob.original_nbytes == 10 * 20 * 30 * 4
+        assert blob.compression_ratio == pytest.approx(blob.original_nbytes / blob.nbytes)
+
+    def test_bitrate(self):
+        blob = _blob()
+        assert blob.bitrate == pytest.approx(8 * blob.nbytes / 6000)
+
+    def test_segment_sizes(self):
+        sizes = _blob().segment_sizes()
+        assert sizes["codes"] == 300
+        assert sizes["anchors"] == 48

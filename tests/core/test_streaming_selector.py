@@ -1,0 +1,121 @@
+"""Streaming session API and archetype auto-selection."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.selector import ARCHETYPES, score_archetypes, select_compressor
+from repro.core.streaming import StreamReader, StreamWriter
+from repro.datasets import load
+
+
+def _snapshots(n=4, shape=(20, 24, 24)):
+    base = load("rtm", shape=shape, seed=0).astype(np.float32)
+    drift = load("rtm", shape=shape, seed=1).astype(np.float32)
+    return [base + 0.02 * t * drift for t in range(n)]
+
+
+class TestStreaming:
+    def test_roundtrip_bounded(self):
+        snaps = _snapshots()
+        w = StreamWriter(eb=1e-3)
+        blobs = [w.append(s) for s in snaps]
+        frames = StreamReader(w.getvalue()).read_all()
+        assert len(frames) == len(snaps)
+        for s, f, b in zip(snaps, frames, blobs):
+            assert np.abs(s.astype(np.float64) - f.astype(np.float64)).max() <= b.error_bound
+
+    def test_temporal_mode_bounded(self):
+        snaps = _snapshots()
+        w = StreamWriter(eb=1e-3, temporal=True)
+        for s in snaps:
+            w.append(s)
+        frames = StreamReader(w.getvalue()).read_all()
+        for s, f in zip(snaps, frames):
+            # The delta bound is relative to each delta's range; just verify
+            # faithful reconstruction at a sensible tolerance.
+            rng = float(s.max() - s.min())
+            assert np.abs(s.astype(np.float64) - f.astype(np.float64)).max() <= 1e-3 * rng
+
+    def test_temporal_beats_direct_on_slow_drift(self):
+        snaps = _snapshots(n=6)
+        direct = StreamWriter(eb=1e-3)
+        delta = StreamWriter(eb=1e-3, temporal=True)
+        for s in snaps:
+            direct.append(s)
+            delta.append(s)
+        assert delta.bytes_written < direct.bytes_written
+
+    def test_external_sink(self, tmp_path):
+        path = tmp_path / "stream.rpzs"
+        snaps = _snapshots(n=2)
+        with open(path, "wb") as fh:
+            w = StreamWriter(sink=fh, eb=1e-2)
+            for s in snaps:
+                w.append(s)
+            with pytest.raises(ValueError):
+                w.getvalue()
+        with open(path, "rb") as fh:
+            frames = StreamReader(fh).read_all()
+        assert len(frames) == 2
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            StreamReader(b"NOTASTREAM")
+
+    def test_truncated_frame(self):
+        snaps = _snapshots(n=1)
+        w = StreamWriter(eb=1e-2)
+        w.append(snaps[0])
+        data = w.getvalue()
+        with pytest.raises(ValueError):
+            StreamReader(data[:-10]).read_all()
+
+    def test_shape_change_rejected_in_temporal(self):
+        w = StreamWriter(eb=1e-2, temporal=True)
+        w.append(np.zeros((8, 8), np.float32) + np.arange(8, dtype=np.float32))
+        with pytest.raises(ValueError):
+            w.append(np.zeros((9, 9), np.float32))
+
+    def test_custom_compressor(self):
+        from repro.baselines import CuszL
+
+        w = StreamWriter(compressor=CuszL(), eb=1e-3)
+        snaps = _snapshots(n=2)
+        for s in snaps:
+            w.append(s)
+        frames = StreamReader(w.getvalue()).read_all()
+        assert np.abs(snaps[0] - frames[0]).max() <= 1e-3 * (snaps[0].max() - snaps[0].min()) * 1.01
+
+
+class TestSelector:
+    def test_scores_cover_archetypes(self, smooth3d):
+        scores = score_archetypes(smooth3d, 1e-3)
+        assert {s.archetype for s in scores} == set(ARCHETYPES)
+        assert scores == sorted(scores, key=lambda s: s.predicted_bitrate)
+
+    def test_interpolation_wins_on_smooth_curved(self):
+        data = load("nyx", shape=(48, 48, 48))
+        comp, scores = select_compressor(data, 1e-3)
+        assert scores[0].archetype == "interpolation"
+
+    def test_selected_compressor_works(self, smooth3d):
+        comp, scores = select_compressor(smooth3d, 1e-3)
+        blob = comp.compress(smooth3d, 1e-3)
+        out = comp.decompress(blob)
+        assert np.abs(smooth3d.astype(np.float64) - out.astype(np.float64)).max() <= blob.error_bound
+
+    def test_selection_tracks_prediction(self, smooth3d):
+        """The chosen archetype's predicted bitrate must be realized as the
+        best (or near-best) actual ratio among the candidates."""
+        from repro.analysis.harness import run_case
+
+        _, scores = select_compressor(smooth3d, 1e-3)
+        actual = {
+            "interpolation": run_case("cusz-hi-cr", smooth3d, 1e-3).cr,
+            "lorenzo": run_case("cusz-l", smooth3d, 1e-3).cr,
+            "offset": run_case("cuszp2", smooth3d, 1e-3).cr,
+        }
+        best_actual = max(actual, key=actual.get)
+        assert actual[scores[0].archetype] >= 0.8 * actual[best_actual]

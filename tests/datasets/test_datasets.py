@@ -1,0 +1,111 @@
+"""Synthetic dataset generators, registry and raw I/O."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASETS, dataset_names, load, read_raw, shape_from_filename, write_raw
+from repro.datasets.synthetic import gaussian_random_field
+
+
+class TestRegistry:
+    def test_all_paper_datasets(self):
+        # Six Table 3 datasets + two extra Fig. 6 lossless-benchmark datasets.
+        assert set(dataset_names()) == {
+            "cesm-atm", "jhtdb", "miranda", "nyx", "qmcpack", "rtm",
+            "hurricane", "scale-letkf",
+        }
+
+    def test_paper_dims_recorded(self):
+        assert DATASETS["jhtdb"].paper_dims == (512, 512, 512)
+        assert DATASETS["qmcpack"].paper_dims == (288, 115, 69, 69)
+        assert DATASETS["cesm-atm"].paper_dims == (1800, 3600)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load("not-a-dataset")
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_shape_dtype_contiguity(self, name):
+        data = load(name)
+        info = DATASETS[name]
+        assert data.shape == info.default_shape
+        assert data.dtype == np.float32
+        assert data.flags["C_CONTIGUOUS"]
+        assert np.isfinite(data).all()
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_deterministic_in_seed(self, name):
+        small = tuple(max(8, d // 2) for d in DATASETS[name].default_shape)
+        a = load(name, shape=small, seed=3)
+        b = load(name, shape=small, seed=3)
+        c = load(name, shape=small, seed=4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_custom_shape(self):
+        data = load("nyx", shape=(32, 40, 48))
+        assert data.shape == (32, 40, 48)
+
+    def test_nyx_dynamic_range(self):
+        data = load("nyx")
+        # Lognormal: strictly positive with a long upper tail.
+        assert data.min() > 0
+        assert data.max() / np.median(data) > 20
+
+    def test_miranda_has_interfaces(self):
+        data = load("miranda")
+        grad = np.abs(np.diff(data, axis=0))
+        # Sharp fronts: the max gradient dwarfs the median gradient.
+        assert grad.max() > 20 * np.median(grad[grad > 0])
+
+
+class TestGRF:
+    def test_spectral_slope(self):
+        """Radially averaged spectrum of a beta-field follows k^-beta."""
+        beta = 3.0
+        f = gaussian_random_field((256, 256), beta=beta, seed=1)
+        spec = np.abs(np.fft.rfftn(f)) ** 2
+        kx = np.fft.fftfreq(256) * 256
+        ky = np.fft.rfftfreq(256) * 256
+        kk = np.sqrt(kx[:, None] ** 2 + ky[None, :] ** 2)
+        lo = spec[(kk > 4) & (kk < 8)].mean()
+        hi = spec[(kk > 32) & (kk < 64)].mean()
+        measured = np.log2(lo / hi) / np.log2(48.0 / 6.0)
+        assert measured == pytest.approx(beta, abs=0.7)
+
+    def test_unit_std(self):
+        f = gaussian_random_field((64, 64), beta=2.0, seed=0)
+        assert f.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_cutoff_suppresses_high_k(self):
+        rough = gaussian_random_field((128,), beta=2.0, seed=0)
+        smooth = gaussian_random_field((128,), beta=2.0, seed=0, cutoff=0.2)
+        assert np.abs(np.diff(smooth)).mean() < np.abs(np.diff(rough)).mean()
+
+
+class TestRawIO:
+    def test_roundtrip(self, tmp_path):
+        data = load("miranda", shape=(16, 20, 24))
+        path = tmp_path / "field_16_20_24.f32"
+        write_raw(str(path), data)
+        back = read_raw(str(path))
+        assert np.array_equal(back, data)
+
+    def test_shape_from_filename(self):
+        assert shape_from_filename("CLDHGH_1800_3600.f32") == (1800, 3600)
+        assert shape_from_filename("x_288_115_69_69.d64") == (288, 115, 69, 69)
+        assert shape_from_filename("noshape.f32") is None
+
+    def test_shape_mismatch_detected(self, tmp_path):
+        path = tmp_path / "bad_10_10.f32"
+        np.zeros(7, np.float32).tofile(path)
+        with pytest.raises(ValueError):
+            read_raw(str(path))
+
+    def test_explicit_shape_and_dtype(self, tmp_path):
+        path = tmp_path / "plain.bin"
+        np.arange(24, dtype=np.float64).tofile(path)
+        back = read_raw(str(path), shape=(4, 6), dtype=np.float64)
+        assert back.shape == (4, 6) and back.dtype == np.float64

@@ -1,0 +1,84 @@
+"""Chunk-interleaved rANS codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoders.ans import PROB_SCALE, RansCodec, normalize_frequencies
+
+
+class TestNormalize:
+    def test_sums_to_scale(self, rng):
+        counts = rng.integers(0, 5000, 256)
+        counts[0] = 1  # rare symbol must keep a slot
+        freqs = normalize_frequencies(counts)
+        assert int(freqs.sum()) == PROB_SCALE
+        assert (freqs[counts > 0] >= 1).all()
+        assert (freqs[counts == 0] == 0).all()
+
+    def test_single_symbol(self):
+        counts = np.zeros(256, np.int64)
+        counts[7] = 123
+        freqs = normalize_frequencies(counts)
+        assert freqs[7] == PROB_SCALE
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_frequencies(np.zeros(256, np.int64))
+
+    def test_many_rare_symbols(self):
+        counts = np.ones(256, np.int64)
+        freqs = normalize_frequencies(counts)
+        assert int(freqs.sum()) == PROB_SCALE
+        assert (freqs >= 1).all()
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("n", [0, 1, 100, 4096, 4097, 30_000])
+    def test_sizes(self, n, rng):
+        data = rng.integers(0, 64, n).astype(np.uint8).tobytes()
+        codec = RansCodec()
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_skewed_compresses_near_entropy(self, rng):
+        probs = np.array([0.85, 0.1, 0.04, 0.01])
+        n = 100_000
+        data = rng.choice(4, size=n, p=probs).astype(np.uint8).tobytes()
+        enc = RansCodec().encode(data)
+        rate = 8 * len(enc) / n
+        entropy = -(probs * np.log2(probs)).sum()
+        # ANS should beat Huffman granularity: within 0.35 bits of entropy
+        # (chunk state + table overhead included).
+        assert rate < entropy + 0.35
+        assert RansCodec().decode(enc) == data
+
+    def test_constant_stream(self):
+        data = b"\x42" * 50_000
+        codec = RansCodec()
+        enc = codec.encode(data)
+        assert codec.decode(enc) == data
+        assert len(enc) < 2500
+
+    def test_incompressible(self, rng):
+        data = rng.integers(0, 256, 16_384).astype(np.uint8).tobytes()
+        codec = RansCodec()
+        enc = codec.encode(data)
+        assert codec.decode(enc) == data
+        assert len(enc) < len(data) * 1.15
+
+    def test_small_chunks(self, rng):
+        data = rng.integers(0, 10, 3000).astype(np.uint8).tobytes()
+        codec = RansCodec(chunk_size=256)
+        assert codec.decode(codec.encode(data)) == data
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=1, max_size=3000))
+    def test_property_roundtrip(self, data):
+        codec = RansCodec(chunk_size=512)
+        assert codec.decode(codec.encode(data)) == data
+
+
+def test_chunk_size_validation():
+    with pytest.raises(ValueError):
+        RansCodec(chunk_size=0)

@@ -1,0 +1,109 @@
+"""Bit-level primitives: packing, unpacking and window extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoders.bitio import (
+    bits_to_bytes,
+    bytes_to_bits,
+    extract_bit_windows,
+    pack_bitfields,
+    popcount_bytes,
+    unpack_bitfields,
+)
+
+
+class TestBitsBytes:
+    def test_roundtrip(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0], dtype=np.uint8)
+        packed = bits_to_bytes(bits)
+        assert np.array_equal(bytes_to_bits(packed, bits.size), bits)
+
+    def test_msb_first(self):
+        # 0b10000000 must decode with the leading 1 at index 0.
+        assert bytes_to_bits(b"\x80", 8)[0] == 1
+        assert bytes_to_bits(b"\x80", 8)[1:].sum() == 0
+
+    def test_partial_byte(self):
+        bits = bytes_to_bits(b"\xff", 3)
+        assert bits.tolist() == [1, 1, 1]
+
+
+class TestPackBitfields:
+    def test_empty(self):
+        payload, nbits = pack_bitfields(np.zeros(0, np.uint64), np.zeros(0, np.int64))
+        assert payload == b"" and nbits == 0
+
+    def test_single_field(self):
+        payload, nbits = pack_bitfields(np.array([0b101], np.uint64), np.array([3]))
+        assert nbits == 3
+        assert bytes_to_bits(payload, 3).tolist() == [1, 0, 1]
+
+    def test_mixed_lengths_roundtrip(self):
+        values = np.array([1, 0b11, 0b10110, 0, 0b1111111111], dtype=np.uint64)
+        lengths = np.array([1, 2, 5, 4, 10], dtype=np.int64)
+        payload, nbits = pack_bitfields(values, lengths)
+        assert nbits == lengths.sum()
+        out = unpack_bitfields(payload, lengths)
+        assert np.array_equal(out, values)
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            pack_bitfields(np.array([1], np.uint64), np.array([65]))
+        with pytest.raises(ValueError):
+            pack_bitfields(np.array([1], np.uint64), np.array([1, 2]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**20 - 1), st.integers(1, 20)), min_size=1, max_size=200
+        )
+    )
+    def test_property_roundtrip(self, pairs):
+        lengths = np.array([l for _, l in pairs], dtype=np.int64)
+        values = np.array([v & ((1 << l) - 1) for v, l in pairs], dtype=np.uint64)
+        payload, nbits = pack_bitfields(values, lengths)
+        assert nbits == int(lengths.sum())
+        assert np.array_equal(unpack_bitfields(payload, lengths), values)
+
+
+class TestExtractWindows:
+    def test_byte_aligned(self):
+        stream = np.frombuffer(b"\xab\xcd\xef\x01", dtype=np.uint8)
+        wins = extract_bit_windows(stream, np.array([0, 8, 16]), 8)
+        assert wins.tolist() == [0xAB, 0xCD, 0xEF]
+
+    def test_unaligned(self):
+        # stream bits: 1010 1011 1100 1101 -> window at offset 4, width 8 = 10111100
+        stream = np.frombuffer(b"\xab\xcd", dtype=np.uint8)
+        wins = extract_bit_windows(stream, np.array([4]), 8)
+        assert wins.tolist() == [0b10111100]
+
+    def test_past_end_zero_padded(self):
+        stream = np.frombuffer(b"\xff", dtype=np.uint8)
+        wins = extract_bit_windows(stream, np.array([6]), 8)
+        assert wins.tolist() == [0b11000000]
+
+    def test_width_validation(self):
+        stream = np.zeros(4, np.uint8)
+        with pytest.raises(ValueError):
+            extract_bit_windows(stream, np.array([0]), 0)
+        with pytest.raises(ValueError):
+            extract_bit_windows(stream, np.array([0]), 25)
+
+    def test_agrees_with_unpackbits(self, rng):
+        stream = rng.integers(0, 256, 64).astype(np.uint8)
+        bits = np.unpackbits(stream)
+        offs = rng.integers(0, 64 * 8 - 16, 50)
+        wins = extract_bit_windows(stream, offs, 16)
+        for o, w in zip(offs, wins):
+            expect = int("".join(map(str, bits[o : o + 16])), 2)
+            assert int(w) == expect
+
+
+def test_popcount(rng):
+    arr = rng.integers(0, 256, 100).astype(np.uint8)
+    assert popcount_bytes(arr) == sum(bin(int(v)).count("1") for v in arr)
+    assert popcount_bytes(np.zeros(0, np.uint8)) == 0

@@ -1,0 +1,121 @@
+"""Bitcomp / GPULZ / ndzip / deflate / fixed-length codec behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoders.bitcomp import BitcompCodec
+from repro.encoders.deflate import GDEFLATE, LZ4_SURROGATE, ZSTD_SURROGATE
+from repro.encoders.fixedlen import FixedLengthCodec
+from repro.encoders.gpulz import GpuLzCodec
+from repro.encoders.huffman import HuffmanCodec
+from repro.encoders.ndzip import NdzipCodec
+
+ROUNDTRIP_CODECS = [
+    BitcompCodec(),
+    GpuLzCodec(),
+    NdzipCodec(),
+    GDEFLATE,
+    LZ4_SURROGATE,
+    ZSTD_SURROGATE,
+    FixedLengthCodec(),
+]
+
+
+@pytest.mark.parametrize("codec", ROUNDTRIP_CODECS, ids=lambda c: c.name)
+def test_roundtrip_varied_payloads(codec, rng, quantcode_bytes):
+    payloads = [
+        b"",
+        b"\x01",
+        bytes(1000),
+        rng.integers(0, 256, 4097).astype(np.uint8).tobytes(),
+        quantcode_bytes[:30_000],
+        np.linspace(0, 1, 2500, dtype=np.float32).tobytes(),
+    ]
+    for data in payloads:
+        assert codec.decode(codec.encode(data)) == data
+
+
+class TestBitcomp:
+    def test_smooth_integers_compress(self):
+        data = (np.arange(20_000) // 64).astype(np.uint8).tobytes()
+        # Deltas are {0, 1}; zigzag makes them 2-bit -> ~3.9x with headers.
+        assert BitcompCodec().ratio_on(data) > 3
+
+    def test_entropy_coded_data_does_not(self, quantcode_bytes):
+        """Table 1 contrast: Bitcomp gets ~1x on already-entropy-coded data
+        but multiples on raw quantization codes."""
+        hf = HuffmanCodec().encode(quantcode_bytes)
+        bc = BitcompCodec()
+        assert bc.ratio_on(hf) < 1.6
+        assert bc.ratio_on(quantcode_bytes) > 1.5
+        assert bc.ratio_on(quantcode_bytes) > bc.ratio_on(hf)
+
+    def test_never_expands_much(self, rng):
+        data = rng.integers(0, 256, 10_000).astype(np.uint8).tobytes()
+        enc = BitcompCodec().encode(data)
+        assert len(enc) <= len(data) + 16  # stored-mode fallback
+
+
+class TestGpuLz:
+    def test_repeated_words_dedupe(self):
+        data = (b"ABCDEFGH" * 4000)
+        codec = GpuLzCodec()
+        enc = codec.encode(data)
+        # ~2.6 bytes/word (flag bit + u16 ref) against 8-byte words.
+        assert len(enc) < len(data) / 3
+        assert codec.decode(enc) == data
+
+    def test_block_locality(self):
+        # Matches only within a block: two far-apart repeats still round-trip.
+        blockbytes = GpuLzCodec().block_words * 8
+        data = b"\x11" * 100 + bytes(blockbytes) + b"\x11" * 100
+        codec = GpuLzCodec()
+        assert codec.decode(codec.encode(data)) == data
+
+
+class TestNdzip:
+    def test_smooth_floats_compress(self):
+        data = np.linspace(0, 1, 50_000, dtype=np.float32).tobytes()
+        codec = NdzipCodec()
+        enc = codec.encode(data)
+        assert len(enc) < len(data)
+        assert codec.decode(enc) == data
+
+
+class TestFixedLength:
+    def test_int_roundtrip_negatives(self, rng):
+        vals = rng.integers(-(2**20), 2**20, 5000).astype(np.int32)
+        codec = FixedLengthCodec()
+        assert np.array_equal(codec.decode_ints(codec.encode_ints(vals)), vals)
+
+    def test_zero_blocks_nearly_free(self):
+        vals = np.zeros(32 * 1000, dtype=np.int32)
+        enc = FixedLengthCodec(block=32).encode_ints(vals)
+        assert len(enc) < 300  # bitmap only
+
+    def test_small_values_tight(self):
+        vals = np.ones(32_000, dtype=np.int32)
+        enc = FixedLengthCodec(block=32).encode_ints(vals)
+        # zigzag(1)=2 -> 2 bits per value + widths + bitmap
+        assert len(enc) < 32_000 * 2.5 / 8 + 1200
+
+    def test_extreme_values(self):
+        vals = np.array([2**31 - 1, -(2**31) + 1, 0, -1], dtype=np.int32)
+        codec = FixedLengthCodec(block=4)
+        assert np.array_equal(codec.decode_ints(codec.encode_ints(vals)), vals)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(-(2**31) + 1, 2**31 - 1), min_size=0, max_size=300))
+    def test_property_roundtrip(self, values):
+        vals = np.array(values, dtype=np.int32)
+        codec = FixedLengthCodec(block=16)
+        assert np.array_equal(codec.decode_ints(codec.encode_ints(vals)), vals)
+
+
+def test_deflate_levels_order(quantcode_bytes):
+    """Zstd surrogate (level 9) must not lose to LZ4 surrogate (level 1)."""
+    lz4 = len(LZ4_SURROGATE.encode(quantcode_bytes))
+    zstd = len(ZSTD_SURROGATE.encode(quantcode_bytes))
+    assert zstd <= lz4

@@ -1,0 +1,188 @@
+"""LC-style component round-trips and behavioural properties."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoders.components import (
+    BIT,
+    CLOG,
+    COMPONENT_FACTORIES,
+    DIFF,
+    DIFFMS,
+    RRE,
+    RZE,
+    TCMS,
+    TUPLD,
+    TUPLQ,
+    make_component,
+)
+
+ALL_SPECS = [
+    "TCMS1", "TCMS2", "TCMS4", "TCMS8",
+    "BIT1", "BIT2", "BIT8",
+    "DIFF1", "DIFF4",
+    "DIFFMS1", "DIFFMS2",
+    "TUPLD2", "TUPLQ1",
+    "RRE1", "RRE2", "RRE4", "RRE8",
+    "RZE1", "RZE4",
+    "CLOG1", "CLOG2",
+]
+
+
+@pytest.fixture(scope="module")
+def payloads(rng):
+    zeros = bytes(4096)
+    runs = (np.repeat(rng.integers(0, 4, 50), rng.integers(1, 200, 50)).astype(np.uint8)).tobytes()
+    random = rng.integers(0, 256, 4099).astype(np.uint8).tobytes()  # odd length -> tails
+    skewed = (128 + np.clip(np.rint(rng.standard_normal(8192) * 2), -120, 120)).astype(np.uint8).tobytes()
+    return {"zeros": zeros, "runs": runs, "random": random, "skewed": skewed, "empty": b"", "tiny": b"\x07"}
+
+
+@pytest.mark.parametrize("spec", ALL_SPECS)
+def test_roundtrip_all_payloads(spec, payloads):
+    comp = make_component(spec)
+    for name, data in payloads.items():
+        out = comp.decode(comp.encode(data))
+        assert out == data, f"{spec} failed on {name}"
+
+
+def test_make_component_parses_width():
+    assert make_component("RRE4").width == 4
+    assert make_component("TCMS8").width == 8
+    assert make_component("DIFFMS2").kind == "DIFFMS"
+    with pytest.raises(ValueError):
+        make_component("NOPE1")
+    with pytest.raises(ValueError):
+        make_component("RRE3")
+
+
+class TestTCMS:
+    def test_zigzag_values(self):
+        # signed -1, 0, 1, -128 -> magnitude-sign 1, 0, 2, 255 for width 1
+        data = np.array([-1, 0, 1, -128], dtype=np.int8).tobytes()
+        out = np.frombuffer(TCMS(1).encode(data), dtype=np.uint8)
+        assert out.tolist() == [1, 0, 2, 255]
+
+    def test_top_symbol_maps_to_all_ones(self):
+        # Paper §5.2.3: symbol 128 (0b10000000) becomes 0b11111111.
+        out = TCMS(1).encode(b"\x80")
+        assert out == b"\xff"
+
+    def test_wide_symbols(self):
+        vals = np.array([-3, 7, 0, 2**31 - 1, -(2**31)], dtype=np.int32)
+        enc = TCMS(4).encode(vals.tobytes())
+        assert TCMS(4).decode(enc) == vals.tobytes()
+
+
+class TestBIT:
+    def test_plane_grouping(self):
+        # Two symbols 0b10000000, 0b10000000: plane 0 = [1,1] -> first byte 0b11.
+        enc = BIT(1).encode(b"\x80\x80")
+        nsym, ntail = struct.unpack_from("<QI", enc, 0)
+        assert nsym == 2 and ntail == 0
+        body = enc[struct.calcsize("<QI"):]
+        assert body[0] == 0b11000000
+
+    def test_constant_stream_concentrates(self):
+        data = b"\x80" * 1024
+        shuffled = BIT(1).encode(data)
+        # After shuffling, the body is one plane of ones + 7 planes of zeros.
+        body = np.frombuffer(shuffled[12:], dtype=np.uint8)
+        assert (body == 0xFF).sum() == 128
+        assert (body == 0x00).sum() == 7 * 128
+
+
+class TestReducers:
+    def test_rre_collapses_runs(self):
+        data = b"\xaa" * 10_000
+        enc = RRE(1).encode(data)
+        assert len(enc) < 200  # 10k repeats collapse to bitmap + 1 symbol
+        assert RRE(1).decode(enc) == data
+
+    def test_rze_collapses_zeros(self):
+        data = bytearray(10_000)
+        data[5000] = 42
+        enc = RZE(1).encode(bytes(data))
+        assert len(enc) < 200
+        assert RZE(1).decode(enc) == bytes(data)
+
+    def test_rre_incompressible_overhead_bounded(self, rng):
+        data = rng.integers(0, 256, 8192).astype(np.uint8).tobytes()
+        enc = RRE(1).encode(data)
+        # Worst case: all symbols kept + bitmap -> ~12.5% overhead.
+        assert len(enc) < len(data) * 1.2
+
+    def test_rre_wide_symbol_grouping(self):
+        # 4-byte repeats invisible at byte level are caught at width 4.
+        word = b"\xde\xad\xbe\xef"
+        data = word * 5000
+        assert len(RRE(4).encode(data)) < 300
+        assert RRE(4).decode(RRE(4).encode(data)) == data
+
+
+class TestCLOG:
+    def test_small_values_pack_tight(self):
+        data = np.array([0, 1, 2, 3] * 1024, dtype=np.uint8).tobytes()
+        enc = CLOG(1).encode(data)
+        # 2 bits/symbol + headers ~ a quarter of input.
+        assert len(enc) < len(data) * 0.4
+        assert CLOG(1).decode(enc) == data
+
+    def test_zero_blocks_cost_one_byte(self):
+        data = bytes(256 * 16)
+        enc = CLOG(1).encode(data)
+        assert len(enc) < 64
+        assert CLOG(1).decode(enc) == data
+
+
+class TestTUPL:
+    def test_tupld_deinterleaves(self):
+        data = bytes([1, 2] * 100)
+        enc = TUPLD(1).encode(data)
+        off = struct.calcsize("<QBI")
+        planes = enc[off : off + 200]
+        assert planes[:100] == bytes([1] * 100)
+        assert planes[100:200] == bytes([2] * 100)
+        assert TUPLD(1).decode(enc) == data
+
+    def test_tuplq_remainder_symbols(self):
+        data = bytes(range(10))  # 10 = 2*4 + 2 remainder
+        assert TUPLQ(1).decode(TUPLQ(1).encode(data)) == data
+
+
+class TestDIFF:
+    def test_linear_ramp_becomes_constant(self):
+        data = np.arange(1000, dtype=np.uint8).tobytes()
+        enc = DIFF(1).encode(data)
+        arr = np.frombuffer(enc, dtype=np.uint8)
+        assert (arr[1:] == 1).all()
+        assert DIFF(1).decode(enc) == data
+
+    def test_wrapping(self):
+        data = np.array([250, 5], dtype=np.uint8).tobytes()  # diff wraps mod 256
+        assert DIFF(1).decode(DIFF(1).encode(data)) == data
+
+    def test_diffms_composition(self):
+        data = np.arange(0, 4000, 7, dtype=np.uint16).astype(np.uint16).tobytes()
+        assert DIFFMS(2).decode(DIFFMS(2).encode(data)) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.binary(min_size=0, max_size=2000), spec=st.sampled_from(ALL_SPECS))
+def test_property_roundtrip(data, spec):
+    comp = make_component(spec)
+    assert comp.decode(comp.encode(data)) == data
+
+
+def test_factories_cover_paper_stages():
+    # Every stage named in Fig. 6 / Fig. 7 pipelines must be constructible.
+    for spec in ("RRE4", "TCMS8", "RZE1", "TCMS1", "BIT1", "RRE1", "RRE2",
+                 "TUPLQ1", "TUPLD2", "DIFFMS1", "CLOG1"):
+        assert make_component(spec).name == spec
+    assert set(COMPONENT_FACTORIES) == {
+        "TCMS", "BIT", "DIFF", "DIFFMS", "TUPLD", "TUPLQ", "RRE", "RZE", "CLOG"
+    }

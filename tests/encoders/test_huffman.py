@@ -1,0 +1,132 @@
+"""Chunk-parallel canonical Huffman codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoders.huffman import (
+    HuffmanCodec,
+    canonical_codes,
+    code_lengths_from_frequencies,
+)
+
+
+class TestCodeLengths:
+    def test_empty_histogram(self):
+        lengths = code_lengths_from_frequencies(np.zeros(256, np.int64))
+        assert (lengths == 0).all()
+
+    def test_single_symbol_gets_one_bit(self):
+        freq = np.zeros(256, np.int64)
+        freq[42] = 1000
+        lengths = code_lengths_from_frequencies(freq)
+        assert lengths[42] == 1
+        assert lengths.sum() == 1
+
+    def test_kraft_inequality(self, rng):
+        freq = rng.integers(0, 1000, 256)
+        lengths = code_lengths_from_frequencies(freq)
+        kraft = sum(2.0 ** -int(l) for l in lengths if l > 0)
+        assert kraft <= 1.0 + 1e-12
+
+    def test_length_limit_enforced(self):
+        # Fibonacci-like frequencies force very deep trees without limiting.
+        freq = np.zeros(256, np.int64)
+        a, b = 1, 1
+        for i in range(40):
+            freq[i] = a
+            a, b = b, a + b
+        lengths = code_lengths_from_frequencies(freq, max_len=16)
+        assert lengths.max() <= 16
+        kraft = sum(2.0 ** -int(l) for l in lengths if l > 0)
+        assert kraft <= 1.0 + 1e-12
+
+    def test_more_frequent_not_longer(self, rng):
+        freq = rng.integers(1, 10_000, 256)
+        lengths = code_lengths_from_frequencies(freq)
+        order = np.argsort(freq)
+        # Sorting by frequency ascending, lengths must be non-increasing.
+        sorted_lengths = lengths[order]
+        assert (np.diff(sorted_lengths.astype(int)) <= 0).all()
+
+
+class TestCanonicalCodes:
+    def test_prefix_free(self):
+        freq = np.zeros(256, np.int64)
+        freq[:8] = [50, 30, 10, 5, 3, 1, 1, 1]
+        lengths = code_lengths_from_frequencies(freq)
+        codes = canonical_codes(lengths)
+        entries = [
+            (format(int(codes[s]), f"0{int(lengths[s])}b"))
+            for s in range(256)
+            if lengths[s] > 0
+        ]
+        for i, a in enumerate(entries):
+            for j, b in enumerate(entries):
+                if i != j:
+                    assert not b.startswith(a), f"{a} prefixes {b}"
+
+
+class TestCodecRoundtrip:
+    @pytest.mark.parametrize("n", [0, 1, 7, 4096, 4097, 50_000])
+    def test_sizes_and_chunk_boundaries(self, n, rng):
+        data = rng.integers(0, 32, n).astype(np.uint8).tobytes()
+        codec = HuffmanCodec(chunk_size=4096)
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_single_symbol_stream(self):
+        data = b"\x80" * 10_000
+        codec = HuffmanCodec()
+        enc = codec.encode(data)
+        assert codec.decode(enc) == data
+        # 1 bit/symbol + table: ~1250 bytes of payload.
+        assert len(enc) < 2000
+
+    def test_skewed_stream_compresses(self, quantcode_bytes):
+        codec = HuffmanCodec()
+        enc = codec.encode(quantcode_bytes)
+        assert len(enc) < len(quantcode_bytes) / 2
+        assert codec.decode(enc) == quantcode_bytes
+
+    def test_incompressible_stream(self, rng):
+        data = rng.integers(0, 256, 20_000).astype(np.uint8).tobytes()
+        codec = HuffmanCodec()
+        enc = codec.encode(data)
+        assert codec.decode(enc) == data
+        assert len(enc) < len(data) * 1.2
+
+    def test_small_chunks(self, rng):
+        data = rng.integers(0, 5, 1000).astype(np.uint8).tobytes()
+        codec = HuffmanCodec(chunk_size=64)
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_all_256_symbols(self):
+        data = bytes(range(256)) * 20
+        codec = HuffmanCodec()
+        assert codec.decode(codec.encode(data)) == data
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=0, max_size=5000))
+    def test_property_roundtrip(self, data):
+        codec = HuffmanCodec(chunk_size=512)
+        assert codec.decode(codec.encode(data)) == data
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            HuffmanCodec(chunk_size=0)
+        with pytest.raises(ValueError):
+            HuffmanCodec(max_len=30)
+
+
+def test_compression_tracks_entropy(rng):
+    """Huffman rate must sit within ~1 bit/symbol of the source entropy."""
+    probs = np.array([0.7, 0.15, 0.1, 0.04, 0.01])
+    n = 100_000
+    data = rng.choice(5, size=n, p=probs).astype(np.uint8).tobytes()
+    entropy = -(probs * np.log2(probs)).sum()
+    enc = HuffmanCodec().encode(data)
+    rate = 8 * len(enc) / n
+    assert entropy - 0.01 <= rate <= entropy + 1.1

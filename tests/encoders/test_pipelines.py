@@ -1,0 +1,89 @@
+"""Named lossless pipelines: parsing, round-trips and Fig. 6 relations."""
+
+import pytest
+
+from repro.encoders.pipelines import (
+    CR_PIPELINE,
+    PIPELINE_CATALOG,
+    TP_PIPELINE,
+    LosslessPipeline,
+    get_pipeline,
+    parse_pipeline,
+)
+
+
+class TestParsing:
+    def test_cr_pipeline_stages(self):
+        names = [n for n, _ in parse_pipeline(CR_PIPELINE)]
+        assert names == ["HF", "RRE4", "TCMS8", "RZE1"]
+
+    def test_tp_pipeline_stages(self):
+        names = [n for n, _ in parse_pipeline(TP_PIPELINE)]
+        assert names == ["TCMS1", "BIT1", "RRE1"]
+
+    def test_nvcomp_atoms(self):
+        names = [n for n, _ in parse_pipeline("HF+nvCOMP::Zstd")]
+        assert names == ["HF", "nvCOMP::Zstd"]
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(ValueError):
+            parse_pipeline("HF+BOGUS1")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            LosslessPipeline("")
+
+
+@pytest.mark.parametrize("name", PIPELINE_CATALOG)
+def test_catalog_roundtrip(name, quantcode_bytes):
+    p = get_pipeline(name)
+    enc = p.encode(quantcode_bytes)
+    assert p.decode(enc) == quantcode_bytes
+
+
+def test_catalog_matches_paper_fig6():
+    """Every labelled point in Fig. 6 must be in the catalog."""
+    for required in (
+        "HF+RRE4-TCMS8-RZE1",
+        "HF+TUPLQ1-RRE1",
+        "HF+RRE1",
+        "TCMS1-BIT1-RRE1",
+        "RRE1-RRE2",
+        "RRE1",
+        "RRE1-RZE1-DIFFMS1-CLOG1",
+        "HF+TUPLD2-RRE2-TUPLQ1-RRE1",
+        "nvCOMP::ANS",
+        "GPULZ",
+        "ndzip",
+    ):
+        assert required in PIPELINE_CATALOG
+
+
+def test_stage_trace_recorded(quantcode_bytes):
+    p = LosslessPipeline(CR_PIPELINE)
+    p.encode(quantcode_bytes)
+    t = p.last_trace
+    assert t.stage_names == ["HF", "RRE4", "TCMS8", "RZE1"]
+    assert t.in_bytes[0] == len(quantcode_bytes)
+    # Stage boundaries chain: output of stage i = input of stage i+1.
+    assert t.out_bytes[:-1] == t.in_bytes[1:]
+
+
+def test_cr_pipeline_beats_plain_huffman(quantcode_bytes):
+    """§5.2: the orchestrated pipeline must out-compress Huffman alone on
+    quantization-code streams (the residual redundancy argument)."""
+    hf = len(get_pipeline("HF").encode(quantcode_bytes))
+    cr = len(get_pipeline(CR_PIPELINE).encode(quantcode_bytes))
+    assert cr <= hf
+
+
+def test_tp_pipeline_close_to_cr_on_codes(quantcode_bytes):
+    """§5.2.3: the Huffman-free TP pipeline achieves a ratio 'close to' the
+    entropy pipeline on structured quantization codes (within ~2x)."""
+    cr = len(get_pipeline(CR_PIPELINE).encode(quantcode_bytes))
+    tp = len(get_pipeline(TP_PIPELINE).encode(quantcode_bytes))
+    assert tp < 2.0 * cr
+
+
+def test_pipeline_cache_shares_instances():
+    assert get_pipeline("RRE1") is get_pipeline("RRE1")

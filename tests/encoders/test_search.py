@@ -1,0 +1,82 @@
+"""LC-style pipeline search tool."""
+
+import pytest
+
+from repro.encoders.pipelines import get_pipeline
+from repro.encoders.search import (
+    DEFAULT_VOCABULARY,
+    enumerate_pipelines,
+    pareto_front,
+    search_pipelines,
+)
+
+
+class TestEnumerate:
+    def test_ends_with_reducer(self):
+        for name in enumerate_pipelines(max_stages=2, with_huffman=False):
+            assert name.split("-")[-1].rstrip("0123456789") in ("RRE", "RZE", "CLOG")
+
+    def test_no_repeated_stage(self):
+        for name in enumerate_pipelines(max_stages=3, with_huffman=False):
+            stages = name.split("-")
+            for a, b in zip(stages, stages[1:]):
+                assert a != b
+
+    def test_huffman_variants_doubled(self):
+        plain = enumerate_pipelines(max_stages=2, with_huffman=False)
+        both = enumerate_pipelines(max_stages=2, with_huffman=True)
+        assert len(both) == 2 * len(plain)
+
+    def test_paper_tp_pipeline_enumerable(self):
+        names = enumerate_pipelines(max_stages=3, with_huffman=False)
+        assert "TCMS1-BIT1-RRE1" in names
+
+    def test_paper_cr_chain_enumerable(self):
+        names = enumerate_pipelines(max_stages=3, with_huffman=True)
+        assert "HF+RRE4-TCMS8-RZE1" in names
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def results(self, quantcode_bytes):
+        candidates = enumerate_pipelines(
+            vocabulary=("RRE1", "RZE1", "TCMS1", "BIT1"), max_stages=2
+        )
+        return search_pipelines(quantcode_bytes[:50_000], candidates)
+
+    def test_sorted_by_ratio(self, results):
+        crs = [r.cr for r in results]
+        assert crs == sorted(crs, reverse=True)
+
+    def test_all_candidates_measured(self, results):
+        # 2-stage vocabulary of 4 with pruning: every candidate round-trips.
+        assert len(results) >= 8
+
+    def test_search_finds_tp_class_pipeline(self, results, quantcode_bytes):
+        """A TCMS/BIT + reducer chain must appear in the top half — the
+        §5.2.2 discovery the paper's search made."""
+        top = [r.name for r in results[: len(results) // 2]]
+        assert any("TCMS1" in n or "BIT1" in n for n in top)
+
+    def test_pareto(self, results):
+        front = pareto_front(results)
+        assert front
+        # No member may be dominated by any other result.
+        for f in front:
+            assert not any(
+                (o.cr > f.cr and o.overall_gibs >= f.overall_gibs)
+                or (o.cr >= f.cr and o.overall_gibs > f.overall_gibs)
+                for o in results
+            )
+
+    def test_pareto_min_throughput(self, results):
+        front = pareto_front(results, min_gibs=1e9)
+        assert front == []
+
+
+def test_search_agrees_with_direct_encode(quantcode_bytes):
+    payload = quantcode_bytes[:30_000]
+    res = search_pipelines(payload, ["TCMS1-BIT1-RRE1"])
+    direct = get_pipeline("TCMS1-BIT1-RRE1")
+    expect = len(payload) / len(direct.encode(payload))
+    assert res[0].cr == pytest.approx(expect)

@@ -1,0 +1,89 @@
+"""Evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    bitrate,
+    bitrate_to_cr,
+    compression_ratio,
+    cr_to_bitrate,
+    max_abs_error,
+    nrmse,
+    psnr,
+    rmse,
+    ssim2d,
+    value_range,
+    verify_error_bound,
+)
+
+
+class TestErrorMetrics:
+    def test_identical_arrays(self):
+        a = np.random.default_rng(0).random((10, 10))
+        assert max_abs_error(a, a) == 0.0
+        assert rmse(a, a) == 0.0
+        assert psnr(a, a) == float("inf")
+        assert verify_error_bound(a, a, 0.0)
+
+    def test_known_psnr(self):
+        a = np.zeros(100)
+        a[0] = 1.0  # range = 1
+        b = a + 0.01  # rmse = 0.01
+        assert psnr(a, b) == pytest.approx(40.0, abs=1e-6)
+
+    def test_nrmse(self):
+        a = np.array([0.0, 10.0])
+        b = np.array([1.0, 10.0])
+        assert nrmse(a, b) == pytest.approx(np.sqrt(0.5) / 10)
+
+    def test_value_range_ignores_nonfinite(self):
+        a = np.array([1.0, 5.0, np.inf, np.nan])
+        assert value_range(a) == 4.0
+
+    def test_verify_bound(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([1.05, 1.95])
+        assert verify_error_bound(a, b, 0.05 + 1e-12)
+        assert not verify_error_bound(a, b, 0.01)
+
+
+class TestRatioMetrics:
+    def test_cr(self):
+        assert compression_ratio(1000, 100) == 10.0
+        with pytest.raises(ValueError):
+            compression_ratio(10, 0)
+
+    def test_bitrate(self):
+        assert bitrate(100, 50) == 4.0
+
+    def test_rate_cr_duality(self):
+        # Paper: bitrate = 32 / CR for float32.
+        assert bitrate_to_cr(4.0) == 8.0
+        assert cr_to_bitrate(8.0) == 4.0
+        assert bitrate_to_cr(cr_to_bitrate(13.7)) == pytest.approx(13.7)
+
+
+class TestSsim:
+    def test_identical(self, smooth2d):
+        assert ssim2d(smooth2d, smooth2d) == pytest.approx(1.0)
+
+    def test_noise_lowers_ssim(self, smooth2d, rng):
+        noisy = smooth2d + 0.2 * rng.standard_normal(smooth2d.shape).astype(np.float32)
+        s = ssim2d(smooth2d, noisy)
+        assert 0.0 < s < 0.95
+
+    def test_more_noise_lower_score(self, smooth2d, rng):
+        n1 = smooth2d + 0.05 * rng.standard_normal(smooth2d.shape).astype(np.float32)
+        n2 = smooth2d + 0.5 * rng.standard_normal(smooth2d.shape).astype(np.float32)
+        assert ssim2d(smooth2d, n1) > ssim2d(smooth2d, n2)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ssim2d(np.zeros((4, 4)), np.zeros((4, 5)))
+        with pytest.raises(ValueError):
+            ssim2d(np.zeros(4), np.zeros(4))
+
+    def test_constant_fields(self):
+        a = np.full((16, 16), 3.0)
+        assert ssim2d(a, a.copy()) == 1.0

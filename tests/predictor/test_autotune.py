@@ -1,0 +1,56 @@
+"""Interpolation auto-tuning (§5.1.3)."""
+
+import numpy as np
+
+from repro.predictor.autotune import CANDIDATES, autotune_levels, sample_blocks
+from repro.predictor.interpolation import LevelConfig, level_strides
+
+
+class TestSampling:
+    def test_block_footprint(self, smooth3d):
+        blocks = sample_blocks(smooth3d, block_side=33, target_fraction=0.01, seed=1)
+        assert len(blocks) >= 1
+        for b in blocks:
+            assert all(s <= 33 for s in b.shape)
+
+    def test_fraction_scales_block_count(self):
+        data = np.zeros((64, 64, 64), dtype=np.float32)
+        few = sample_blocks(data, 16, target_fraction=0.001)
+        many = sample_blocks(data, 16, target_fraction=0.05)
+        assert len(many) >= len(few)
+
+    def test_deterministic(self, smooth3d):
+        a = sample_blocks(smooth3d, 33, seed=7)
+        b = sample_blocks(smooth3d, 33, seed=7)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestSelection:
+    def test_returns_config_per_level(self, smooth3d):
+        chosen = autotune_levels(smooth3d, 16)
+        assert set(chosen) == set(level_strides(16))
+        assert all(isinstance(c, LevelConfig) for c in chosen.values())
+
+    def test_smooth_data_prefers_cubic_fine_levels(self, smooth3d):
+        chosen = autotune_levels(smooth3d, 16)
+        # On a smooth trigonometric field the finest level is cubic-family.
+        assert chosen[1].spline in ("cubic", "natural_cubic")
+
+    def test_noise_prefers_low_order(self, rng):
+        data = rng.standard_normal((48, 48, 48)).astype(np.float32)
+        chosen = autotune_levels(data, 16)
+        # Pure white noise: cubic overshoots; linear must win somewhere.
+        assert any(cfg.spline == "linear" for cfg in chosen.values())
+
+    def test_candidates_cover_schemes_and_splines(self):
+        schemes = {c.scheme for c in CANDIDATES}
+        splines = {c.spline for c in CANDIDATES}
+        assert schemes == {"md", "1d"}
+        assert splines == {"linear", "cubic", "natural_cubic"}
+
+    def test_anisotropic_data_picks_best_scheme(self, rng):
+        # Perfectly separable field along one axis: md averaging still exact,
+        # but the tuner must at least return valid configs for 2-D data.
+        data = np.tile(np.sin(np.linspace(0, 8, 128)).astype(np.float32), (64, 1))
+        chosen = autotune_levels(data, 16)
+        assert set(chosen) == {8, 4, 2, 1}

@@ -1,0 +1,184 @@
+"""Interpolation predictor: coverage, error bound, bit-exact decompression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictor.interpolation import (
+    InterpolationPredictor,
+    LevelConfig,
+    level_passes,
+    level_strides,
+)
+
+
+class TestLevelStrides:
+    def test_hi_partition(self):
+        assert level_strides(16) == [8, 4, 2, 1]
+
+    def test_cuszi_partition(self):
+        assert level_strides(8) == [4, 2, 1]
+
+    def test_invalid(self):
+        for bad in (0, 1, 3, 12):
+            with pytest.raises(ValueError):
+                level_strides(bad)
+
+
+class TestCoverage:
+    """Every non-anchor point must be predicted by exactly one pass."""
+
+    @pytest.mark.parametrize("shape", [(33,), (17, 20), (16, 17, 19), (9, 10, 11, 12)])
+    @pytest.mark.parametrize("scheme", ["md", "1d"])
+    def test_each_point_touched_once(self, shape, scheme):
+        A = 16
+        count = np.zeros(shape, dtype=np.int32)
+        for s in level_strides(A):
+            for vectors, axes in level_passes(shape, s, scheme):
+                mesh = np.ix_(*vectors)
+                count[mesh] += 1
+        anchors = np.ix_(*[np.arange(0, d, A) for d in shape])
+        expected = np.ones(shape, dtype=np.int32)
+        expected[anchors] = 0
+        assert np.array_equal(count, expected)
+
+    def test_md_pass_axes_are_odd_dims(self):
+        shape = (17, 17, 17)
+        for vectors, axes in level_passes(shape, 4, "md"):
+            for d in range(3):
+                rem = vectors[d] % 8
+                if d in axes:
+                    assert (rem == 4).all()
+                else:
+                    assert (rem == 0).all()
+
+
+class TestLevelConfig:
+    def test_encode_decode(self):
+        cfg = LevelConfig("1d", "natural_cubic")
+        assert LevelConfig.decode(cfg.encode()) == cfg
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LevelConfig("diagonal", "cubic")
+        with pytest.raises(ValueError):
+            LevelConfig("md", "quartic")
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("anchor_stride", [8, 16])
+    def test_bitexact_and_bounded(self, smooth3d, anchor_stride):
+        eb = 1e-3 * float(smooth3d.max() - smooth3d.min())
+        pred = InterpolationPredictor(anchor_stride)
+        res = pred.compress(smooth3d, eb)
+        out = pred.decompress(
+            res.codes, res.anchors, res.outlier_values, smooth3d.shape, eb,
+            res.level_configs, smooth3d.dtype,
+        )
+        assert np.array_equal(out, res.recon), "decode must replay encode exactly"
+        assert np.abs(smooth3d.astype(np.float64) - out.astype(np.float64)).max() <= eb
+
+    @pytest.mark.parametrize(
+        "shape",
+        [(40,), (31, 57), (20, 21, 22), (9, 8, 10, 11)],
+        ids=["1d", "2d", "3d", "4d"],
+    )
+    def test_all_dimensionalities(self, shape, rng):
+        data = rng.standard_normal(shape).astype(np.float32)
+        data = np.cumsum(data, axis=-1)  # make it somewhat smooth
+        eb = 1e-3 * float(data.max() - data.min())
+        pred = InterpolationPredictor(16)
+        res = pred.compress(data, eb)
+        out = pred.decompress(
+            res.codes, res.anchors, res.outlier_values, shape, eb,
+            res.level_configs, data.dtype,
+        )
+        assert np.array_equal(out, res.recon)
+        assert np.abs(data.astype(np.float64) - out.astype(np.float64)).max() <= eb
+
+    def test_noisy_data_outlier_path(self, noisy3d):
+        eb = 1e-5 * float(noisy3d.max() - noisy3d.min())  # tiny bound -> outliers
+        pred = InterpolationPredictor(16)
+        res = pred.compress(noisy3d, eb)
+        out = pred.decompress(
+            res.codes, res.anchors, res.outlier_values, noisy3d.shape, eb,
+            res.level_configs, noisy3d.dtype,
+        )
+        assert res.outlier_values.size > 0
+        assert np.abs(noisy3d.astype(np.float64) - out.astype(np.float64)).max() <= eb
+
+    def test_per_level_configs_respected(self, smooth3d):
+        eb = 1e-3
+        pred = InterpolationPredictor(16)
+        cfgs = {8: LevelConfig("1d", "linear"), 4: LevelConfig("md", "cubic"),
+                2: LevelConfig("1d", "natural_cubic"), 1: LevelConfig("md", "linear")}
+        res = pred.compress(smooth3d, eb, cfgs)
+        out = pred.decompress(
+            res.codes, res.anchors, res.outlier_values, smooth3d.shape, eb,
+            cfgs, smooth3d.dtype,
+        )
+        assert np.array_equal(out, res.recon)
+
+    def test_float64_input(self, rng):
+        data = np.cumsum(rng.standard_normal((24, 25, 26)), axis=0)
+        eb = 1e-4 * (data.max() - data.min())
+        pred = InterpolationPredictor(8)
+        res = pred.compress(data, eb)
+        out = pred.decompress(
+            res.codes, res.anchors, res.outlier_values, data.shape, eb,
+            res.level_configs, data.dtype,
+        )
+        assert out.dtype == np.float64
+        assert np.abs(data - out).max() <= eb
+
+    def test_nan_values_become_outliers(self):
+        data = np.ones((20, 20, 20), dtype=np.float32)
+        data[3, 4, 5] = np.nan
+        pred = InterpolationPredictor(16)
+        res = pred.compress(data, 1e-3)
+        out = pred.decompress(
+            res.codes, res.anchors, res.outlier_values, data.shape, 1e-3,
+            res.level_configs, data.dtype,
+        )
+        assert np.isnan(out[3, 4, 5])
+        mask = ~np.isnan(data)
+        assert np.abs(data[mask] - out[mask]).max() <= 1e-3
+
+    def test_eb_validation(self, smooth3d):
+        with pytest.raises(ValueError):
+            InterpolationPredictor(16).compress(smooth3d, 0.0)
+
+
+class TestCodes:
+    def test_smooth_data_codes_concentrate(self, smooth3d):
+        eb = 1e-2 * float(smooth3d.max() - smooth3d.min())
+        res = InterpolationPredictor(16).compress(smooth3d, eb)
+        frac_zero = (res.codes == 128).mean()
+        assert frac_zero > 0.5  # §5.2.1: concentrated distribution
+
+    def test_anchor_positions_keep_placeholder(self, smooth3d):
+        res = InterpolationPredictor(16).compress(smooth3d, 1e-3)
+        anchors_mesh = np.ix_(*[np.arange(0, d, 16) for d in smooth3d.shape])
+        assert (res.codes[anchors_mesh] == 128).all()
+        assert res.anchors.shape == tuple((d + 15) // 16 for d in smooth3d.shape)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    dims=st.tuples(st.integers(6, 24), st.integers(6, 24), st.integers(6, 24)),
+    eb_exp=st.integers(-5, -1),
+    seed=st.integers(0, 5),
+)
+def test_property_error_bound(dims, eb_exp, seed):
+    """For arbitrary small fields and bounds the reconstruction obeys Eq. 1."""
+    rng = np.random.default_rng(seed)
+    data = np.cumsum(rng.standard_normal(dims).astype(np.float32), axis=0)
+    eb = 10.0**eb_exp * float(data.max() - data.min() + 1e-9)
+    pred = InterpolationPredictor(8)
+    res = pred.compress(data, eb)
+    out = pred.decompress(
+        res.codes, res.anchors, res.outlier_values, dims, eb, res.level_configs, data.dtype
+    )
+    assert np.abs(data.astype(np.float64) - out.astype(np.float64)).max() <= eb
+    assert np.array_equal(out, res.recon)

@@ -1,0 +1,97 @@
+"""Spline kernels: polynomial reproduction and boundary order handling."""
+
+import numpy as np
+import pytest
+
+from repro.predictor.splines import SPLINES, axis_predict, spline_weights
+
+
+def _interp_1d(values, stride, spline):
+    """Run axis_predict on a 1-D array predicting odd multiples of stride."""
+    R = values.astype(np.float64)
+    dim = R.shape[0]
+    t = np.arange(stride, dim, 2 * stride)
+    vectors = [t]
+    pred, order = axis_predict(R, 0, vectors, stride, spline)
+    return t, pred, np.broadcast_to(order, pred.shape)
+
+
+class TestWeights:
+    def test_all_weights_sum_to_one(self):
+        for name, w in SPLINES.items():
+            assert abs(sum(w) - 1.0) < 1e-12, name
+
+    def test_unknown_spline(self):
+        with pytest.raises(KeyError):
+            spline_weights("quintic")
+        with pytest.raises(KeyError):
+            axis_predict(np.zeros(8), 0, [np.array([1])], 1, "quintic")
+
+
+class TestPolynomialReproduction:
+    def test_linear_spline_exact_on_linear(self):
+        x = np.arange(33, dtype=np.float64) * 0.5 + 3.0
+        t, pred, order = _interp_1d(x, 1, "linear")
+        assert np.allclose(pred, x[t])
+
+    def test_cubic_exact_on_cubic_interior(self):
+        i = np.arange(65, dtype=np.float64)
+        x = 0.01 * i**3 - 0.3 * i**2 + i - 5
+        t, pred, order = _interp_1d(x, 1, "cubic")
+        interior = order == 3
+        assert interior.any()
+        assert np.allclose(pred[interior], x[t][interior], atol=1e-9)
+
+    def test_quadratic_boundary_exact_on_quadratic(self):
+        i = np.arange(64, dtype=np.float64)
+        x = 0.2 * i**2 + i + 1
+        t, pred, order = _interp_1d(x, 1, "cubic")
+        quad = order == 2
+        assert quad.any()
+        assert np.allclose(pred[quad], x[t][quad], atol=1e-9)
+
+    def test_natural_cubic_exact_on_linear(self):
+        i = np.arange(64, dtype=np.float64)
+        x = 2.0 * i - 7
+        t, pred, order = _interp_1d(x, 1, "natural_cubic")
+        ok = (order >= 1).ravel()  # exclude the copy-fallback tail point
+        assert np.allclose(pred.ravel()[ok], x[t][ok], atol=1e-9)
+
+
+class TestOrders:
+    def test_order_structure_stride1(self):
+        t, _, order = _interp_1d(np.zeros(64), 1, "cubic")
+        o = order.ravel()
+        # t=1 lacks m3 (quad-right); t=61 lacks p3 (quad-left); t=63 lacks p1
+        # entirely (copy); everything in between is full cubic.
+        assert o[0] == 2
+        assert (o[1:-2] == 3).all()
+        assert o[-2] == 2
+        assert o[-1] == 0
+
+    def test_unaligned_tail_copy_order(self):
+        # dim = 8, stride 2 -> targets 2, 6; t=6 has no +s neighbour (8 > 7).
+        t, pred, order = _interp_1d(np.arange(8, dtype=np.float64), 2, "cubic")
+        assert t.tolist() == [2, 6]
+        assert order.ravel()[-1] == 0  # copy fallback
+        assert pred.ravel()[-1] == 4.0  # value at t-s
+
+    def test_linear_spline_orders_capped(self):
+        _, _, order = _interp_1d(np.zeros(64), 1, "linear")
+        assert order.max() == 1
+
+
+class TestMultiDim:
+    def test_2d_prediction_uses_axis_neighbors(self):
+        R = np.zeros((9, 9))
+        R[4, ::2] = 1.0  # known values along row 4 at even columns
+        pred, order = axis_predict(R, 1, [np.array([4]), np.array([3])], 1, "cubic")
+        assert pred.shape == (1, 1)
+        assert pred[0, 0] == pytest.approx(1.0)
+
+    def test_broadcast_shape(self):
+        R = np.random.default_rng(0).random((17, 17, 17))
+        vectors = [np.array([0, 2, 4]), np.array([1, 3]), np.array([0, 2])]
+        pred, order = axis_predict(R, 1, vectors, 1, "cubic")
+        assert pred.shape == (3, 2, 2)
+        assert order.shape == (1, 2, 1)

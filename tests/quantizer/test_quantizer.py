@@ -1,0 +1,100 @@
+"""Quantization layer: prequantize, byte quantizer, escape folding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantizer.folding import fold_residuals, unfold_residuals
+from repro.quantizer.linear import ByteQuantizer, prequantize, reconstruct
+
+
+class TestPrequantize:
+    def test_bound_holds(self, rng):
+        data = (rng.standard_normal(10_000) * 100).astype(np.float32)
+        eb = 0.05
+        res = prequantize(data, eb)
+        assert np.abs(data.astype(np.float64) - res.recon.astype(np.float64)).max() <= eb
+
+    def test_reconstruct_matches(self, rng):
+        data = rng.standard_normal((20, 20)).astype(np.float32)
+        res = prequantize(data, 1e-3)
+        out = reconstruct(res.q, 1e-3, data.dtype, res.outlier_pos, res.outlier_values)
+        assert np.array_equal(out, res.recon)
+
+    def test_nonfinite_become_outliers(self):
+        data = np.array([1.0, np.inf, -np.inf, np.nan, 2.0], dtype=np.float32)
+        res = prequantize(data, 0.1)
+        assert res.outlier_pos.tolist() == [1, 2, 3]
+        assert np.isinf(res.recon[1]) and np.isnan(res.recon[3])
+
+    def test_huge_values_saturate(self):
+        data = np.array([0.0, 1e25], dtype=np.float32)
+        res = prequantize(data, 1e-8)
+        assert 1 in res.outlier_pos
+        assert res.recon[1] == np.float32(1e25)
+
+    def test_eb_validation(self):
+        with pytest.raises(ValueError):
+            prequantize(np.zeros(4, np.float32), 0.0)
+
+
+class TestByteQuantizer:
+    def test_codes_and_bound(self, rng):
+        eb = 0.01
+        q = ByteQuantizer(eb)
+        pred = rng.standard_normal(5000)
+        values = pred + rng.uniform(-1, 1, 5000)  # residuals within +-1
+        codes, recon, outlier = q.quantize(values, pred, np.dtype(np.float32))
+        assert codes.dtype == np.uint8
+        inl = ~outlier
+        assert np.abs(values[inl] - recon[inl]).max() <= eb
+        assert np.array_equal(recon[outlier], values[outlier])
+        # Dequantize inverts the non-outlier mapping.
+        back = q.dequantize(codes[inl], pred[inl])
+        assert np.allclose(back, recon[inl])
+
+    def test_large_residual_escapes(self):
+        q = ByteQuantizer(0.001)
+        codes, recon, outlier = q.quantize(
+            np.array([100.0]), np.array([0.0]), np.dtype(np.float32)
+        )
+        assert codes[0] == 0 and outlier[0]
+        assert recon[0] == 100.0
+
+    def test_code_center(self):
+        q = ByteQuantizer(0.5)
+        codes, _, _ = q.quantize(np.array([0.0, 1.0, -1.0]), np.zeros(3), np.dtype(np.float32))
+        assert codes.tolist() == [128, 129, 127]
+
+
+class TestFolding:
+    def test_roundtrip_widths(self, rng):
+        resid = rng.integers(-300, 300, 10_000).astype(np.int32)
+        for width in (1, 2):
+            codes, escapes = fold_residuals(resid, width)
+            back = unfold_residuals(codes, escapes, width)
+            assert np.array_equal(back, resid)
+
+    def test_escape_marker_zero(self):
+        codes, escapes = fold_residuals(np.array([0, 127, -127, 128, -128], np.int32), 1)
+        assert codes.tolist() == [128, 255, 1, 0, 0]
+        assert escapes.tolist() == [128, -128]
+
+    def test_escape_count_mismatch_detected(self):
+        codes, escapes = fold_residuals(np.array([500], np.int32), 1)
+        with pytest.raises(ValueError):
+            unfold_residuals(codes, escapes[:0], 1)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            fold_residuals(np.zeros(4, np.int32), 4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(-1e6, 1e6, width=32), min_size=1, max_size=500),
+       st.floats(1e-6, 10.0))
+def test_property_prequant_bound(values, eb):
+    data = np.array(values, dtype=np.float32)
+    res = prequantize(data, eb)
+    assert np.abs(data.astype(np.float64) - res.recon.astype(np.float64)).max() <= eb

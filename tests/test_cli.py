@@ -1,0 +1,89 @@
+"""Command-line interface end-to-end tests."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.container import CompressedBlob
+from repro.datasets import load, write_raw
+
+
+@pytest.fixture()
+def raw_field(tmp_path):
+    data = load("miranda", shape=(16, 24, 24))
+    path = tmp_path / "density_16_24_24.f32"
+    write_raw(str(path), data)
+    return path, data
+
+
+class TestCompressDecompress:
+    def test_roundtrip(self, raw_field, tmp_path, capsys):
+        path, data = raw_field
+        out = tmp_path / "density.rpz"
+        rc = main(["compress", str(path), "-o", str(out), "--eb", "1e-3"])
+        assert rc == 0
+        assert "CR=" in capsys.readouterr().out
+
+        recon_path = tmp_path / "recon.f32"
+        rc = main(["decompress", str(out), "-o", str(recon_path)])
+        assert rc == 0
+        recon = np.fromfile(recon_path, dtype=np.float32).reshape(data.shape)
+        blob = CompressedBlob.from_bytes(out.read_bytes())
+        assert np.abs(data.astype(np.float64) - recon.astype(np.float64)).max() <= blob.error_bound
+
+    def test_explicit_dims(self, tmp_path):
+        data = load("nyx", shape=(12, 12, 12))
+        path = tmp_path / "noname.bin"
+        data.tofile(path)
+        out = tmp_path / "o.rpz"
+        rc = main(["compress", str(path), "-o", str(out), "-d", "12", "12", "12"])
+        assert rc == 0
+
+    def test_missing_dims_errors(self, tmp_path, capsys):
+        path = tmp_path / "noname.bin"
+        np.zeros(100, np.float32).tofile(path)
+        rc = main(["compress", str(path), "-o", str(tmp_path / "x.rpz")])
+        assert rc == 2
+        assert "dims" in capsys.readouterr().err
+
+    def test_codec_flag(self, raw_field, tmp_path, capsys):
+        path, _ = raw_field
+        out = tmp_path / "l.rpz"
+        rc = main(["compress", str(path), "-o", str(out), "--codec", "cusz-l"])
+        assert rc == 0
+        main(["info", str(out)])
+        assert "cusz-l" in capsys.readouterr().out
+
+    def test_tp_mode(self, raw_field, tmp_path):
+        path, _ = raw_field
+        out = tmp_path / "tp.rpz"
+        assert main(["compress", str(path), "-o", str(out), "--mode", "tp"]) == 0
+
+
+class TestInfoAndBench:
+    def test_info_fields(self, raw_field, tmp_path, capsys):
+        path, _ = raw_field
+        out = tmp_path / "i.rpz"
+        main(["compress", str(path), "-o", str(out)])
+        capsys.readouterr()
+        assert main(["info", str(out)]) == 0
+        text = capsys.readouterr().out
+        for needle in ("codec", "shape", "error bound", "segments", "codes"):
+            assert needle in text
+
+    def test_bench_table(self, capsys, monkeypatch):
+        import repro.datasets.registry as reg
+
+        # Shrink the dataset so the CLI bench stays fast in CI.
+        orig = reg.DATASETS["nyx"]
+        monkeypatch.setitem(
+            reg.DATASETS,
+            "nyx",
+            reg.DatasetInfo(
+                orig.name, orig.domain, orig.paper_dims, orig.paper_files,
+                orig.paper_total, (20, 20, 20), orig.generator,
+            ),
+        )
+        assert main(["bench", "--dataset", "nyx", "--eb", "1e-2"]) == 0
+        text = capsys.readouterr().out
+        assert "cusz-hi-cr" in text and "fzgpu" in text

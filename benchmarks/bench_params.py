@@ -1,0 +1,12 @@
+"""Shared benchmark parameters.
+
+Kept outside ``conftest.py`` (and imported absolutely) so ``pytest
+benchmarks`` collects without package-relative imports: pytest inserts this
+directory on ``sys.path`` when collecting it, and the module name is unique
+so it cannot shadow — or be shadowed by — ``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+#: Table 4 / Fig. 8 / Fig. 10 evaluation grid
+EVAL_EBS = (1e-2, 1e-3, 1e-4)

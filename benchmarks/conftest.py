@@ -13,8 +13,6 @@ import pytest
 
 from repro.datasets import DATASETS, load
 
-#: Table 4 / Fig. 8 / Fig. 10 evaluation grid
-EVAL_EBS = (1e-2, 1e-3, 1e-4)
 
 
 @pytest.fixture(scope="session")

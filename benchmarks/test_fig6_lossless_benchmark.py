@@ -25,7 +25,7 @@ from repro.analysis import format_table
 from repro.core.compressor import resolve_error_bound
 from repro.datasets import load
 from repro.encoders.pipelines import CR_PIPELINE, PIPELINE_CATALOG, TP_PIPELINE, get_pipeline
-from repro.gpu.costmodel import pipeline_kernels, throughput_gibs, trace_time_s
+from repro.gpu.costmodel import pipeline_kernels, trace_time_s
 from repro.gpu.device import RTX_6000_ADA
 from repro.predictor.interpolation import InterpolationPredictor
 from repro.predictor.reorder import reorder

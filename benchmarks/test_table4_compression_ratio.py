@@ -17,7 +17,7 @@ import pytest
 
 from repro.analysis import EVAL_ORDER, format_table, run_case
 
-from .conftest import EVAL_EBS
+from bench_params import EVAL_EBS
 
 #: paper Table 4 values (cuSZ-Hi-CR, cuSZ-Hi-TP, ..., fzgpu) for reference
 PAPER_TABLE4 = {

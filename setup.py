@@ -1,4 +1,6 @@
-"""Legacy shim so ``pip install -e .`` works offline (no wheel package)."""
+"""Legacy shim so ``pip install -e .`` works offline (environments without
+the ``wheel`` package fall back to ``setup.py develop``); all metadata lives
+in pyproject.toml."""
 
 from setuptools import setup
 

@@ -31,7 +31,7 @@ from .core.config import CR_MODE, TP_MODE, CuszHiConfig
 from .core.container import CompressedBlob, ContainerError
 from .core.registry import codec_class, codec_name, list_codecs
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "compress",
@@ -56,7 +56,15 @@ __all__ = [
 ]
 
 
-def compress(data, eb: float, mode: str = "cr", codec: str | None = None):
+def compress(
+    data,
+    eb: float,
+    mode: str = "cr",
+    codec: str | None = None,
+    tile_shape: tuple[int, ...] | None = None,
+    workers: int = 0,
+    executor: str | None = None,
+):
     """Compress a float field under a value-range-relative error bound.
 
     Parameters
@@ -71,6 +79,15 @@ def compress(data, eb: float, mode: str = "cr", codec: str | None = None):
     codec:
         optionally a baseline name (``"cusz-l"``, ``"cusz-i"``, ``"cusz-ib"``,
         ``"cuszp2"``, ``"fzgpu"``) instead of cuSZ-Hi.
+    tile_shape:
+        split the field into tiles of this shape and compress them
+        concurrently into a multi-tile frame (see :mod:`repro.core.tiling`);
+        cuSZ-Hi only.
+    workers:
+        tile-parallel worker count (0 = auto-size to the CPU count).
+    executor:
+        ``"serial"`` | ``"threads"`` | ``"processes"`` (default ``"threads"``
+        when ``tile_shape`` is given).
 
     Returns
     -------
@@ -78,10 +95,22 @@ def compress(data, eb: float, mode: str = "cr", codec: str | None = None):
         self-describing stream; ``blob.to_bytes()`` serializes it.
     """
     if codec is not None:
+        if tile_shape is not None:
+            raise ValueError("tiling is only supported for the cuSZ-Hi codecs")
         from .analysis.harness import make_compressor
 
         return make_compressor(codec).compress(data, eb)
-    return CuszHi(mode=mode).compress(data, eb)
+    if tile_shape is None:
+        if executor is not None or workers:
+            raise ValueError("workers/executor require tile_shape")
+        return CuszHi(mode=mode).compress(data, eb)
+    comp = CuszHi(
+        mode=mode,
+        tile_shape=tuple(tile_shape),
+        workers=workers,
+        executor=executor or "threads",
+    )
+    return comp.compress(data, eb)
 
 
 def decompress(blob) -> "_np.ndarray":

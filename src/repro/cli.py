@@ -31,7 +31,19 @@ def _cmd_compress(args) -> int:
         return 2
     from . import compress
 
-    blob = compress(data, eb=args.eb, mode=args.mode, codec=args.codec)
+    try:
+        blob = compress(
+            data,
+            eb=args.eb,
+            mode=args.mode,
+            codec=args.codec,
+            tile_shape=tuple(args.tiles) if args.tiles else None,
+            workers=args.workers,
+            executor=args.executor,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     payload = blob.to_bytes()
     with open(args.output, "wb") as fh:
         fh.write(payload)
@@ -98,6 +110,23 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--eb", type=float, default=1e-3, help="value-range-relative bound")
     pc.add_argument("--mode", choices=("cr", "tp"), default="cr")
     pc.add_argument("--codec", default=None, help="baseline codec name instead of cuSZ-Hi")
+    pc.add_argument(
+        "--tiles",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="T",
+        help="tile shape for parallel tiled compression (e.g. --tiles 128 128 128)",
+    )
+    pc.add_argument(
+        "--workers", type=int, default=0, help="tile-parallel workers (0 = CPU count)"
+    )
+    pc.add_argument(
+        "--executor",
+        choices=("serial", "threads", "processes"),
+        default=None,
+        help="tile executor (requires --tiles; default: threads)",
+    )
     pc.set_defaults(func=_cmd_compress)
 
     pd = sub.add_parser("decompress", help="decompress a .rpz stream")

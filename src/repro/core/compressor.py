@@ -123,6 +123,16 @@ class CuszHi:
         if data.dtype not in (np.float32, np.float64):
             raise TypeError("cuSZ-Hi compresses float32/float64 fields")
         cfg = self.config
+        if cfg.tile_shape is not None:
+            # Tiled fast path: fan tiles out across the configured executor;
+            # the engine resolves the bound once on the full field so every
+            # tile honors the exact untiled bound.
+            from .tiling import TiledEngine
+
+            engine = TiledEngine(config=cfg)
+            frame = engine.compress(data, eb)
+            self.last_comp_trace = engine.last_comp_trace
+            return frame
         abs_eb = resolve_error_bound(data, eb, cfg.eb_mode)
         trace = KernelTrace()
 
@@ -174,6 +184,15 @@ class CuszHi:
     # --------------------------------------------------------- decompress
     def decompress(self, blob: CompressedBlob) -> np.ndarray:
         """Reconstruct the field from a cuSZ-Hi stream (any config)."""
+        from .container import is_tiled
+
+        if is_tiled(blob):
+            from .tiling import TiledEngine
+
+            engine = TiledEngine(config=self.config)
+            out = engine.decompress(blob)
+            self.last_decomp_trace = engine.last_decomp_trace
+            return out
         trace = KernelTrace()
         anchor_stride = int(blob.meta["anchor_stride"])
         level_cfgs = _decode_levels(blob.meta["levels"])
@@ -251,5 +270,7 @@ class CuszHi:
 
 
 # Register the class for every cuSZ-Hi id so the dispatcher can route blobs.
-for _name in ("cusz-hi-cr", "cusz-hi-tp", "cusz-hi"):
+# Tiled frames route through CuszHi.decompress, which detects the tile index
+# and fans the per-tile decode out through the tiling engine.
+for _name in ("cusz-hi-cr", "cusz-hi-tp", "cusz-hi", "cusz-hi-tiled"):
     _BY_ID[CODEC_IDS[_name]] = CuszHi

@@ -45,6 +45,14 @@ class CuszHiConfig:
     eb_mode: str = "rel"
     #: auto-tune sampling fraction (paper: 0.2 %)
     sample_fraction: float = 0.002
+    #: tile extents for the parallel tiled engine; ``None`` = untiled path
+    tile_shape: tuple[int, ...] | None = None
+    #: edge handling of the tile grid ("merge" folds thin edge slivers)
+    tile_boundary: str = "merge"
+    #: tile-parallel worker count (0 = auto-size to the visible CPU count)
+    workers: int = 0
+    #: tile executor: "serial" | "threads" | "processes"
+    executor: str = "serial"
 
     def __post_init__(self):
         if self.anchor_stride < 2 or self.anchor_stride & (self.anchor_stride - 1):
@@ -53,6 +61,17 @@ class CuszHiConfig:
             raise ValueError(f"unknown scheme {self.scheme!r}")
         if self.eb_mode not in ("rel", "abs"):
             raise ValueError(f"eb_mode must be 'rel' or 'abs', got {self.eb_mode!r}")
+        if self.tile_shape is not None:
+            tile_shape = tuple(int(t) for t in self.tile_shape)
+            if not tile_shape or any(t <= 0 for t in tile_shape):
+                raise ValueError("tile_shape entries must be positive")
+            object.__setattr__(self, "tile_shape", tile_shape)
+        if self.tile_boundary not in ("remainder", "merge"):
+            raise ValueError(f"unknown tile_boundary {self.tile_boundary!r}")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = auto)")
+        if self.executor not in ("serial", "threads", "processes"):
+            raise ValueError(f"unknown executor {self.executor!r}")
 
     def with_(self, **kwargs) -> "CuszHiConfig":
         """Functional update (used heavily by the ablation harness)."""

@@ -33,7 +33,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["CompressedBlob", "ContainerError"]
+__all__ = [
+    "CompressedBlob",
+    "ContainerError",
+    "pack_tiled",
+    "is_tiled",
+    "tile_count",
+    "tile_entries",
+    "unpack_tile",
+]
 
 _MAGIC = b"RPZH"
 _VERSION = 3
@@ -198,3 +206,107 @@ class CompressedBlob:
             meta=meta,
             flags=flags,
         )
+
+
+# --------------------------------------------------------------------------
+# Multi-tile frames.
+#
+# A tiled frame is a regular CompressedBlob whose payload is a sequence of
+# independently decodable per-tile streams plus an index of per-tile offsets,
+# so single tiles are random-accessible and the whole frame decompresses
+# tile-parallel.  Layout inside the frame:
+#
+#   segment "tile_index" : int64 array (n_tiles, 2*ndim + 2) holding, per
+#                          tile, origin[ndim], shape[ndim], offset, length
+#   segment "tiles"      : concatenation of the per-tile serialized blobs
+#
+# The frame-level CRC machinery of CompressedBlob covers both segments, and
+# frame.nbytes keeps counting every byte, index included, so tiled CRs stay
+# honest.
+# --------------------------------------------------------------------------
+
+_TILED_FLAG = 1 << 0
+
+
+def pack_tiled(
+    codec: int,
+    shape: tuple[int, ...],
+    dtype,
+    error_bound: float,
+    tiles: "list[tuple[tuple[int, ...], tuple[int, ...]]]",
+    payloads: "list[bytes]",
+    meta: "dict[str, str] | None" = None,
+) -> CompressedBlob:
+    """Pack per-tile streams into one multi-tile frame.
+
+    ``tiles`` holds ``(origin, tile_shape)`` pairs aligned with ``payloads``.
+    """
+    if len(tiles) != len(payloads):
+        raise ValueError("tiles and payloads must align")
+    if not tiles:
+        raise ValueError("a tiled frame needs at least one tile")
+    ndim = len(shape)
+    index = np.zeros((len(tiles), 2 * ndim + 2), dtype=np.int64)
+    offset = 0
+    body = bytearray()
+    for row, ((origin, tshape), payload) in enumerate(zip(tiles, payloads)):
+        if len(origin) != ndim or len(tshape) != ndim:
+            raise ValueError("tile rank does not match frame rank")
+        index[row, :ndim] = origin
+        index[row, ndim : 2 * ndim] = tshape
+        index[row, 2 * ndim] = offset
+        index[row, 2 * ndim + 1] = len(payload)
+        body += payload
+        offset += len(payload)
+    frame = CompressedBlob(
+        codec=codec,
+        shape=tuple(int(d) for d in shape),
+        dtype=np.dtype(dtype),
+        error_bound=float(error_bound),
+        flags=_TILED_FLAG,
+        meta=dict(meta or {}),
+    )
+    frame.meta["n_tiles"] = str(len(tiles))
+    frame.put_array("tile_index", index)
+    frame.segments["tiles"] = bytes(body)
+    return frame
+
+
+def is_tiled(blob: CompressedBlob) -> bool:
+    return bool(blob.flags & _TILED_FLAG) and "tile_index" in blob.segments
+
+
+def _tile_index(blob: CompressedBlob) -> np.ndarray:
+    if not is_tiled(blob):
+        raise ContainerError("blob is not a tiled frame")
+    return blob.get_array("tile_index")
+
+
+def tile_count(blob: CompressedBlob) -> int:
+    return int(_tile_index(blob).shape[0])
+
+
+def tile_entries(blob: CompressedBlob):
+    """Yield ``(index, origin, tile_shape)`` for every tile in the frame."""
+    idx = _tile_index(blob)
+    ndim = len(blob.shape)
+    for i in range(idx.shape[0]):
+        origin = tuple(int(x) for x in idx[i, :ndim])
+        tshape = tuple(int(x) for x in idx[i, ndim : 2 * ndim])
+        yield i, origin, tshape
+
+
+def unpack_tile(blob: CompressedBlob, i: int):
+    """Random-access one tile: ``(origin, tile_shape, payload_bytes)``."""
+    idx = _tile_index(blob)
+    if not 0 <= i < idx.shape[0]:
+        raise IndexError(f"tile {i} out of range (frame has {idx.shape[0]} tiles)")
+    ndim = len(blob.shape)
+    origin = tuple(int(x) for x in idx[i, :ndim])
+    tshape = tuple(int(x) for x in idx[i, ndim : 2 * ndim])
+    offset = int(idx[i, 2 * ndim])
+    length = int(idx[i, 2 * ndim + 1])
+    body = blob.segments["tiles"]
+    if offset < 0 or length < 0 or offset + length > len(body):
+        raise ContainerError(f"tile {i} extends past the tiles segment")
+    return origin, tshape, body[offset : offset + length]

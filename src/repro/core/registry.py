@@ -16,6 +16,7 @@ CODEC_IDS = {
     "cusz-hi-cr": 1,
     "cusz-hi-tp": 2,
     "cusz-hi": 3,  # custom-config cuSZ-Hi
+    "cusz-hi-tiled": 4,  # multi-tile parallel frame (repro.core.tiling)
     "cusz-l": 10,
     "cusz-i": 11,
     "cusz-ib": 12,

@@ -77,15 +77,41 @@ class StreamWriter:
         instead of the raw field.  Deltas are taken against reconstructions,
         so the absolute per-point bound is preserved end to end without
         drift accumulation.
+    tile_shape / workers / executor:
+        Tiled-frame knobs (see :mod:`repro.core.tiling`): when ``tile_shape``
+        is set, each snapshot is split into tiles compressed concurrently by
+        ``workers`` lanes of the chosen executor, so one snapshot fans out
+        across cores instead of serializing on one.  Only meaningful for
+        cuSZ-Hi compressors; readers decode tiled frames transparently.
     """
 
-    def __init__(self, sink=None, compressor=None, eb: float = 1e-3, temporal: bool = False):
+    def __init__(
+        self,
+        sink=None,
+        compressor=None,
+        eb: float = 1e-3,
+        temporal: bool = False,
+        tile_shape: tuple[int, ...] | None = None,
+        workers: int = 0,
+        executor: str | None = None,
+    ):
         self._sink = sink if sink is not None else io.BytesIO()
         self._own_sink = sink is None
+        tiling_kwargs = {}
+        if tile_shape is not None:
+            tiling_kwargs["tile_shape"] = tuple(tile_shape)
+            tiling_kwargs["workers"] = workers
+            tiling_kwargs["executor"] = executor or "threads"
+        elif executor is not None or workers:
+            raise ValueError("workers/executor require tile_shape")
         if compressor is None:
-            compressor = CuszHi(config=CuszHiConfig(eb_mode="abs"))
+            compressor = CuszHi(config=CuszHiConfig(eb_mode="abs", **tiling_kwargs))
         else:
             compressor = _as_absolute_mode(compressor)
+            if tiling_kwargs:
+                if not isinstance(compressor, CuszHi):
+                    raise TypeError("tiled frames require a cuSZ-Hi compressor")
+                compressor = CuszHi(config=compressor.config.with_(**tiling_kwargs))
         self.compressor = compressor
         self.eb = eb
         self._abs_eb: float | None = None

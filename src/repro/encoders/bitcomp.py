@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import struct
 
-import numpy as np
 
 from .components import CLOG, DIFF, TCMS
 

@@ -3,9 +3,12 @@ the roofline cost model that produces Fig. 6/Fig. 10 throughput numbers."""
 
 from .costmodel import (
     STAGE_KERNEL_MODELS,
+    aggregate_tile_traces,
     kernel_time_s,
     pipeline_kernels,
     throughput_gibs,
+    tiled_throughput_gibs,
+    tiled_trace_time_s,
     trace_time_s,
 )
 from .device import A100_SXM_80GB, DEVICES, RTX_6000_ADA, DeviceSpec
@@ -22,6 +25,9 @@ __all__ = [
     "kernel_time_s",
     "trace_time_s",
     "throughput_gibs",
+    "aggregate_tile_traces",
+    "tiled_trace_time_s",
+    "tiled_throughput_gibs",
     "pipeline_kernels",
     "STAGE_KERNEL_MODELS",
 ]

@@ -29,6 +29,9 @@ __all__ = [
     "kernel_time_s",
     "trace_time_s",
     "throughput_gibs",
+    "aggregate_tile_traces",
+    "tiled_trace_time_s",
+    "tiled_throughput_gibs",
     "pipeline_kernels",
     "STAGE_KERNEL_MODELS",
 ]
@@ -65,6 +68,50 @@ def throughput_gibs(
     ``scale``-times larger file.
     """
     t = trace_time_s(trace, device, scale)
+    return (scale * input_nbytes / GiB) / t if t > 0 else float("inf")
+
+
+# --------------------------------------------------------------------------
+# Tiled execution (repro.core.tiling).
+#
+# A tiled run produces one KernelTrace per tile.  For data-volume accounting
+# (Fig. 10's bytes-moved axis) the tile traces simply concatenate; for the
+# time axis, tiles execute concurrently on `workers` lanes, so the modeled
+# wall time is the makespan of a longest-processing-time assignment of the
+# per-tile schedules onto the lanes — not the serial sum.
+# --------------------------------------------------------------------------
+
+
+def aggregate_tile_traces(traces) -> KernelTrace:
+    """Merge per-tile kernel traces into one flat trace (data-volume view)."""
+    merged = KernelTrace()
+    for t in traces:
+        if t is not None:
+            merged.extend(t)
+    return merged
+
+
+def tiled_trace_time_s(traces, device: DeviceSpec, workers: int, scale: float = 1.0) -> float:
+    """Modeled wall-clock seconds for tile traces spread over ``workers`` lanes.
+
+    Greedy LPT assignment: sort tiles by modeled time, place each on the
+    least-loaded lane, return the maximum lane load.
+    """
+    workers = max(1, int(workers))
+    times = sorted((trace_time_s(t, device, scale) for t in traces if t is not None), reverse=True)
+    if not times:
+        return 0.0
+    lanes = [0.0] * min(workers, len(times))
+    for t in times:
+        lanes[int(np.argmin(lanes))] += t
+    return max(lanes)
+
+
+def tiled_throughput_gibs(
+    input_nbytes: int, traces, device: DeviceSpec, workers: int, scale: float = 1.0
+) -> float:
+    """End-to-end GiB/s of a tiled run under the parallel makespan model."""
+    t = tiled_trace_time_s(traces, device, workers, scale)
     return (scale * input_nbytes / GiB) / t if t > 0 else float("inf")
 
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 __all__ = ["compression_ratio", "bitrate", "bitrate_to_cr", "cr_to_bitrate"]
 

@@ -1,6 +1,5 @@
 """Streaming session API and archetype auto-selection."""
 
-import io
 
 import numpy as np
 import pytest

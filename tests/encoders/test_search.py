@@ -4,7 +4,6 @@ import pytest
 
 from repro.encoders.pipelines import get_pipeline
 from repro.encoders.search import (
-    DEFAULT_VOCABULARY,
     enumerate_pipelines,
     pareto_front,
     search_pipelines,

@@ -87,3 +87,32 @@ class TestInfoAndBench:
         assert main(["bench", "--dataset", "nyx", "--eb", "1e-2"]) == 0
         text = capsys.readouterr().out
         assert "cusz-hi-cr" in text and "fzgpu" in text
+
+
+class TestTiledFlags:
+    def test_tiles_roundtrip(self, raw_field, tmp_path, capsys):
+        path, data = raw_field
+        out = tmp_path / "tiled.rpz"
+        rc = main([
+            "compress", str(path), "-o", str(out),
+            "--tiles", "8", "16", "16", "--workers", "2", "--executor", "threads",
+        ])
+        assert rc == 0
+        blob = CompressedBlob.from_bytes(out.read_bytes())
+        from repro.core.container import is_tiled
+
+        assert is_tiled(blob)
+        assert blob.meta["executor"] == "threads"
+        recon_path = tmp_path / "recon.f32"
+        assert main(["decompress", str(out), "-o", str(recon_path)]) == 0
+        recon = np.fromfile(recon_path, dtype=np.float32).reshape(data.shape)
+        assert np.abs(data.astype(np.float64) - recon.astype(np.float64)).max() <= blob.error_bound
+
+    def test_info_shows_tiles(self, raw_field, tmp_path, capsys):
+        path, _ = raw_field
+        out = tmp_path / "tiled.rpz"
+        assert main(["compress", str(path), "-o", str(out), "--tiles", "16"]) == 0
+        main(["info", str(out)])
+        text = capsys.readouterr().out
+        assert "cusz-hi-tiled" in text
+        assert "n_tiles" in text

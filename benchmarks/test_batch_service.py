@@ -1,0 +1,135 @@
+"""Batch archive service benchmark (PR 2 acceptance).
+
+Runs an 8-field synthetic manifest through ``repro batch`` into a single-file
+archive, round-trips every field within its error bound through ``repro
+archive get``, proves that re-running the manifest skips completed fields,
+and times the process-executor batch against the serial baseline (the
+speedup assertion self-skips on hosts with fewer than 4 usable CPUs).
+
+The JSON job report is written into the benchmark-artifacts directory
+(``REPRO_BENCH_ARTIFACTS``, default ``./benchmark-artifacts``) so CI can
+upload it and track CR/PSNR/throughput trajectories per run.
+
+Run explicitly: ``pytest benchmarks/test_batch_service.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.cli import main as cli_main
+from repro.core import resolve_workers
+from repro.datasets import load
+from repro.service import ArchiveStore, BatchRunner, load_manifest
+
+pytestmark = pytest.mark.benchmarks
+
+WORKERS = 4
+EB = 1e-3
+
+#: >= 8 fields, mixed geometry — big enough that per-field compression work
+#: dominates process fan-out overhead.
+FIELDS = [
+    {"name": "nyx-baryon", "dataset": "nyx", "shape": [80, 80, 80]},
+    {"name": "nyx-dm", "dataset": "nyx", "shape": [80, 80, 80], "seed": 1},
+    {"name": "miranda-rho", "dataset": "miranda", "shape": [64, 96, 96]},
+    {"name": "jhtdb-u", "dataset": "jhtdb", "shape": [80, 80, 80]},
+    {"name": "rtm-shot1", "dataset": "rtm", "shape": [72, 72, 48]},
+    {"name": "rtm-shot2", "dataset": "rtm", "shape": [72, 72, 48], "seed": 2},
+    {"name": "cesm-ts", "dataset": "cesm-atm", "shape": [225, 450]},
+    {"name": "qmc-orb", "dataset": "qmcpack", "shape": [36, 29, 34, 34], "eb": 1e-4},
+]
+
+
+@pytest.fixture(scope="module")
+def manifest_path(tmp_path_factory) -> str:
+    tmp = tmp_path_factory.mktemp("batch_bench")
+    path = tmp / "corpus.json"
+    path.write_text(json.dumps({"job": {"name": "bench-corpus", "eb": EB}, "fields": FIELDS}))
+    return str(path)
+
+
+def _artifacts_dir() -> str:
+    path = os.environ.get("REPRO_BENCH_ARTIFACTS", "benchmark-artifacts")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def test_batch_archive_roundtrip_and_resume(manifest_path, tmp_path, capsys):
+    archive = str(tmp_path / "corpus.rpza")
+    report = os.path.join(_artifacts_dir(), "batch_report.json")
+    rc = cli_main(["batch", manifest_path, "-o", archive, "--report", report])
+    assert rc == 0, "batch run reported failed fields"
+
+    # Every field must round-trip within its recorded absolute bound.
+    with ArchiveStore(archive) as arch:
+        assert len(arch) == len(FIELDS)
+        for spec in FIELDS:
+            entry = arch.entry(spec["name"])
+            recon_path = tmp_path / "recon.f32"
+            rc = cli_main(["archive", "get", archive, spec["name"], "-o", str(recon_path)])
+            assert rc == 0
+            recon = np.fromfile(recon_path, dtype=np.float32).reshape(entry.shape)
+            orig = load(spec["dataset"], shape=tuple(spec["shape"]), seed=spec.get("seed", 0))
+            err = np.abs(orig.astype(np.float64) - recon.astype(np.float64)).max()
+            assert err <= entry.eb_abs, f"{spec['name']}: {err} > {entry.eb_abs}"
+
+    # Re-running the same manifest must skip every completed field.
+    capsys.readouterr()
+    assert cli_main(["batch", manifest_path, "-o", archive]) == 0
+    assert f"{len(FIELDS)} skipped" in capsys.readouterr().out
+
+    doc = json.load(open(report))
+    assert doc["schema"] == "repro.batch-report/1"
+    print(f"\nwrote {report}: corpus CR={doc['totals']['cr']:.2f}")
+
+
+def test_batch_process_speedup(manifest_path, tmp_path):
+    cpus = resolve_workers(0)
+    spec = load_manifest(manifest_path)
+
+    t0 = time.perf_counter()
+    serial_report = BatchRunner(
+        spec, str(tmp_path / "serial.rpza"), executor="serial"
+    ).run()
+    t_serial = time.perf_counter() - t0
+    assert serial_report.ok
+
+    t0 = time.perf_counter()
+    proc_report = BatchRunner(
+        spec, str(tmp_path / "proc.rpza"), executor="processes", workers=WORKERS
+    ).run()
+    t_proc = time.perf_counter() - t0
+    assert proc_report.ok
+
+    speedup = t_serial / t_proc
+    raw_gib = sum(r.raw_nbytes for r in serial_report.fields) / 2**30
+    rows = [
+        ["serial", f"{t_serial:.2f}", f"{raw_gib / t_serial:.3f}", "1.00"],
+        [f"processes x{WORKERS}", f"{t_proc:.2f}", f"{raw_gib / t_proc:.3f}", f"{speedup:.2f}"],
+    ]
+    print()
+    print(format_table(
+        ["executor", "seconds", "GiB/s", "speedup"], rows,
+        title=f"batch archive — {len(FIELDS)} fields, eb={EB}, {cpus} CPUs",
+    ))
+
+    # Identical archives modulo scheduling: same entries, same payload sizes.
+    with ArchiveStore(str(tmp_path / "serial.rpza")) as a, \
+            ArchiveStore(str(tmp_path / "proc.rpza")) as b:
+        assert {e.name: e.nbytes for e in a.entries()} == {e.name: e.nbytes for e in b.entries()}
+
+    if cpus < WORKERS:
+        pytest.skip(
+            f"speedup={speedup:.2f}x measured, but only {cpus} CPUs are usable; "
+            f"the faster-than-serial bar needs {WORKERS} process workers on real cores"
+        )
+    assert speedup > 1.0, (
+        f"process-executor batch ({t_proc:.2f}s) not faster than serial ({t_serial:.2f}s)"
+    )

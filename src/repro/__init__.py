@@ -25,13 +25,24 @@ from __future__ import annotations
 
 import numpy as _np
 
-from . import analysis, baselines, core, datasets, encoders, gpu, metrics, predictor, quantizer
+from . import (
+    analysis,
+    baselines,
+    core,
+    datasets,
+    encoders,
+    gpu,
+    metrics,
+    predictor,
+    quantizer,
+    service,
+)
 from .core.compressor import CuszHi
 from .core.config import CR_MODE, TP_MODE, CuszHiConfig
 from .core.container import CompressedBlob, ContainerError
 from .core.registry import codec_class, codec_name, list_codecs
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "compress",
@@ -53,6 +64,7 @@ __all__ = [
     "metrics",
     "predictor",
     "quantizer",
+    "service",
 ]
 
 

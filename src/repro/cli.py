@@ -1,14 +1,21 @@
-"""Command-line interface: compress / decompress / inspect raw fields.
+"""Command-line interface: compress / decompress / inspect / batch-archive.
 
 Usage::
 
-    repro-compress compress  INPUT.f32 -o out.rpz -d 512 512 512 --eb 1e-3
-    repro-compress decompress out.rpz -o recon.f32
-    repro-compress info      out.rpz
-    repro-compress bench     --dataset nyx --eb 1e-3
+    repro compress  INPUT.f32 -o out.rpz -d 512 512 512 --eb 1e-3
+    repro decompress out.rpz -o recon.f32
+    repro info      out.rpz
+    repro bench     --dataset nyx --eb 1e-3
+    repro batch     corpus.toml -o corpus.rpza --report report.json
+    repro archive   ls corpus.rpza
+    repro archive   get corpus.rpza temperature -o temp.f32
+    repro archive   verify corpus.rpza --deep
 
 Input files follow the SDRBench raw convention; dims can be embedded in the
-file name (``name_512_512_512.f32``) or passed via ``-d``.
+file name (``name_512_512_512.f32``) or passed via ``-d``.  Exit codes: 0 on
+success, 1 when a batch run had failed fields or verification found
+problems, 2 on usage/input errors (bad manifest, corrupt archive, truncated
+container — all reported cleanly on stderr, never as a traceback).
 """
 
 from __future__ import annotations
@@ -18,9 +25,20 @@ import sys
 
 import numpy as np
 
-from .core.container import CompressedBlob
+from .core.container import CompressedBlob, ContainerError
 from .core.registry import codec_name
 from .datasets.io import read_raw, write_raw
+
+
+def _fail(msg: str) -> int:
+    print(f"error: {msg}", file=sys.stderr)
+    return 2
+
+
+def _read_blob(path: str) -> CompressedBlob:
+    """Read + parse one container file; raises ContainerError/OSError."""
+    with open(path, "rb") as fh:
+        return CompressedBlob.from_bytes(fh.read())
 
 
 def _cmd_compress(args) -> int:
@@ -55,8 +73,12 @@ def _cmd_compress(args) -> int:
 
 
 def _cmd_decompress(args) -> int:
-    with open(args.input, "rb") as fh:
-        blob = CompressedBlob.from_bytes(fh.read())
+    try:
+        blob = _read_blob(args.input)
+    except OSError as exc:
+        return _fail(f"cannot read {args.input}: {exc.strerror or exc}")
+    except ContainerError as exc:
+        return _fail(f"{args.input}: {exc}")
     from . import decompress
 
     recon = decompress(blob)
@@ -66,8 +88,12 @@ def _cmd_decompress(args) -> int:
 
 
 def _cmd_info(args) -> int:
-    with open(args.input, "rb") as fh:
-        blob = CompressedBlob.from_bytes(fh.read())
+    try:
+        blob = _read_blob(args.input)
+    except OSError as exc:
+        return _fail(f"cannot read {args.input}: {exc.strerror or exc}")
+    except ContainerError as exc:
+        return _fail(f"{args.input}: {exc}")
     print(f"codec        : {codec_name(blob.codec)} (id {blob.codec})")
     print(f"shape        : {blob.shape}  dtype {np.dtype(blob.dtype).name}")
     print(f"error bound  : {blob.error_bound:.6g} (absolute)")
@@ -99,8 +125,122 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_batch(args) -> int:
+    from .service import ArchiveError, ArchiveStore, BatchRunner, ManifestError, load_manifest
+
+    try:
+        spec = load_manifest(args.manifest)
+    except ManifestError as exc:
+        return _fail(str(exc))
+    try:
+        with ArchiveStore(args.output, mode="a", backend=args.backend) as archive:
+            runner = BatchRunner(
+                spec,
+                archive,
+                executor=args.executor,
+                workers=args.workers,
+                resume=not args.no_resume,
+            )
+            report = runner.run()
+    except (ArchiveError, OSError) as exc:
+        return _fail(str(exc))
+    if args.report:
+        try:
+            report.write(args.report)
+        except OSError as exc:
+            # The archive itself is already flushed; only the report is lost.
+            return _fail(f"cannot write report {args.report}: {exc.strerror or exc}")
+    counts = report.counts
+    for r in report.fields:
+        if r.status == "ok":
+            print(
+                f"  ok      {r.name:24s} CR={r.cr:8.2f}  bitrate={r.bitrate:.3f}  "
+                f"PSNR={r.psnr:6.1f}  {r.wall_s:6.2f}s"
+            )
+        elif r.status == "skipped":
+            print(f"  skipped {r.name:24s} (already in archive)")
+        else:
+            print(f"  FAILED  {r.name:24s} {r.error}")
+    print(
+        f"{spec.name}: {counts['ok']} ok, {counts['skipped']} skipped, "
+        f"{counts['failed']} failed -> {args.output} "
+        f"({report.executor} x{report.workers}, {report.wall_s:.2f}s)"
+    )
+    return 0 if report.ok else 1
+
+
+def _open_archive(path: str):
+    from .service import ArchiveStore
+
+    return ArchiveStore(path, mode="r")
+
+
+def _cmd_archive_ls(args) -> int:
+    from .service import ArchiveError
+
+    try:
+        with _open_archive(args.archive) as arch:
+            entries = arch.entries()
+            backend = arch.backend
+    except (ArchiveError, OSError) as exc:
+        return _fail(str(exc))
+    print(f"{args.archive}: {len(entries)} entries ({backend} backend)")
+    for e in entries:
+        shape = "x".join(str(d) for d in e.shape)
+        steps = f" x{e.timesteps}t" if e.timesteps > 1 else ""
+        print(
+            f"  {e.name:24s} {e.kind:6s} {e.codec:14s} {shape}{steps} {e.dtype:8s} "
+            f"eb={e.eb_abs:.3g}  {e.nbytes:10d} B  CR={e.compression_ratio:.2f}"
+        )
+    return 0
+
+
+def _cmd_archive_get(args) -> int:
+    from .service import ArchiveError
+
+    try:
+        with _open_archive(args.archive) as arch:
+            if args.tile is not None:
+                origin, data = arch.get_tile(args.name, args.tile)
+                write_raw(args.output, data)
+                print(
+                    f"{args.name}[tile {args.tile}] @ {origin}: wrote {data.nbytes} bytes "
+                    f"to {args.output} (shape {data.shape})"
+                )
+            else:
+                data = arch.get(args.name)
+                write_raw(args.output, data)
+                print(
+                    f"{args.name}: wrote {data.nbytes} bytes to {args.output} "
+                    f"(shape {data.shape})"
+                )
+    except (ArchiveError, OSError) as exc:
+        return _fail(str(exc))
+    return 0
+
+
+def _cmd_archive_verify(args) -> int:
+    from .service import ArchiveError
+
+    try:
+        with _open_archive(args.archive) as arch:
+            problems = arch.verify(name=args.name, deep=args.deep)
+            n = 1 if args.name else len(arch)
+    except (ArchiveError, OSError) as exc:
+        return _fail(str(exc))
+    noun = "entry" if n == 1 else "entries"
+    if problems:
+        for p in problems:
+            print(f"PROBLEM: {p}", file=sys.stderr)
+        print(f"{args.archive}: {len(problems)} problem(s) in {n} {noun}", file=sys.stderr)
+        return 1
+    depth = "deep" if args.deep else "structural"
+    print(f"{args.archive}: {n} {noun} OK ({depth} check)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
-    p = argparse.ArgumentParser(prog="repro-compress", description=__doc__)
+    p = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
 
     pc = sub.add_parser("compress", help="compress a raw float field")
@@ -143,6 +283,60 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--eb", type=float, default=1e-3)
     pb.add_argument("--seed", type=int, default=0)
     pb.set_defaults(func=_cmd_bench)
+
+    pba = sub.add_parser("batch", help="run a manifest of fields into an archive")
+    pba.add_argument("manifest", help="TOML/JSON job manifest (see repro.service.manifest)")
+    pba.add_argument("-o", "--output", required=True, help="archive path (.rpza file or dir)")
+    pba.add_argument("--report", default=None, help="write the JSON job report here")
+    pba.add_argument(
+        "--executor",
+        choices=("serial", "threads", "processes"),
+        default=None,
+        help="field-level executor (default: the manifest's job.executor)",
+    )
+    pba.add_argument(
+        "--workers", type=int, default=None, help="field-parallel workers (0 = CPU count)"
+    )
+    pba.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="recompress fields even when the archive already holds them",
+    )
+    pba.add_argument(
+        "--backend",
+        choices=("file", "dir"),
+        default=None,
+        help="archive backend (default: dir if OUTPUT is an existing directory)",
+    )
+    pba.set_defaults(func=_cmd_batch)
+
+    pa = sub.add_parser("archive", help="inspect / read / verify a batch archive")
+    asub = pa.add_subparsers(dest="archive_command", required=True)
+
+    pls = asub.add_parser("ls", help="list archive entries")
+    pls.add_argument("archive")
+    pls.set_defaults(func=_cmd_archive_ls)
+
+    pget = asub.add_parser("get", help="extract one entry as a raw field")
+    pget.add_argument("archive")
+    pget.add_argument("name")
+    pget.add_argument("-o", "--output", required=True)
+    pget.add_argument(
+        "--tile",
+        type=int,
+        default=None,
+        metavar="I",
+        help="partial decompression: decode only tile I of a tiled entry",
+    )
+    pget.set_defaults(func=_cmd_archive_get)
+
+    pver = asub.add_parser("verify", help="integrity-check archive entries")
+    pver.add_argument("archive")
+    pver.add_argument("name", nargs="?", default=None)
+    pver.add_argument(
+        "--deep", action="store_true", help="also fully decompress every checked entry"
+    )
+    pver.set_defaults(func=_cmd_archive_verify)
     return p
 
 

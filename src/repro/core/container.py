@@ -158,42 +158,50 @@ class CompressedBlob:
     @classmethod
     def from_bytes(cls, buf: bytes) -> "CompressedBlob":
         view = memoryview(buf)
-        if bytes(view[:4]) != _MAGIC:
+        if len(view) < 4 or bytes(view[:4]) != _MAGIC:
             raise ContainerError("bad magic — not a repro compressed stream")
-        off = 4
-        version, codec, ndim, dtc, flags, eb = struct.unpack_from("<HHBBHd", view, off)
-        off += struct.calcsize("<HHBBHd")
+
+        def take(off: int, n: int, what: str) -> tuple[bytes, int]:
+            # Every read is bounds-checked so a truncated file surfaces as a
+            # ContainerError, never a struct.error or a silently-short slice.
+            if n < 0 or off + n > len(view):
+                raise ContainerError(f"truncated container: {what} extends past end of data")
+            return bytes(view[off : off + n]), off + n
+
+        def unpack(fmt: str, off: int, what: str):
+            raw, end = take(off, struct.calcsize(fmt), what)
+            return struct.unpack(fmt, raw), end
+
+        def decode(raw: bytes, what: str) -> str:
+            try:
+                return raw.decode()
+            except UnicodeDecodeError:
+                raise ContainerError(f"corrupt container: {what} is not valid UTF-8") from None
+
+        (version, codec, ndim, dtc, flags, eb), off = unpack("<HHBBHd", 4, "header")
         if version != _VERSION:
             raise ContainerError(f"unsupported container version {version}")
         if dtc not in _DTYPES_INV:
             raise ContainerError(f"unknown dtype code {dtc}")
         dims = []
         for _ in range(ndim):
-            (d,) = struct.unpack_from("<Q", view, off)
-            off += 8
+            (d,), off = unpack("<Q", off, "dims")
             dims.append(int(d))
-        nmeta, nseg = struct.unpack_from("<HH", view, off)
-        off += 4
+        (nmeta, nseg), off = unpack("<HH", off, "section counts")
         meta: dict[str, str] = {}
         for _ in range(nmeta):
-            (klen,) = struct.unpack_from("<H", view, off)
-            off += 2
-            k = bytes(view[off : off + klen]).decode()
-            off += klen
-            (vlen,) = struct.unpack_from("<I", view, off)
-            off += 4
-            meta[k] = bytes(view[off : off + vlen]).decode()
-            off += vlen
+            (klen,), off = unpack("<H", off, "meta key length")
+            kraw, off = take(off, klen, "meta key")
+            (vlen,), off = unpack("<I", off, "meta value length")
+            vraw, off = take(off, vlen, "meta value")
+            meta[decode(kraw, "meta key")] = decode(vraw, "meta value")
         segments: dict[str, bytes] = {}
         for _ in range(nseg):
-            (namelen,) = struct.unpack_from("<H", view, off)
-            off += 2
-            name = bytes(view[off : off + namelen]).decode()
-            off += namelen
-            plen, crc = struct.unpack_from("<QI", view, off)
-            off += 12
-            payload = bytes(view[off : off + plen])
-            off += plen
+            (namelen,), off = unpack("<H", off, "segment name length")
+            nraw, off = take(off, namelen, "segment name")
+            name = decode(nraw, "segment name")
+            (plen, crc), off = unpack("<QI", off, f"segment {name!r} header")
+            payload, off = take(off, plen, f"segment {name!r} payload")
             if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
                 raise ContainerError(f"CRC mismatch in segment {name!r}")
             segments[name] = payload

@@ -176,15 +176,24 @@ class StreamReader:
     def __iter__(self):
         return self
 
-    def __next__(self) -> np.ndarray:
+    def _read_frame(self):
+        """Parse one ``(flags, CompressedBlob)`` frame; ``None`` at clean EOF."""
         head = self._src.read(5)
+        if not head:
+            return None
         if len(head) < 5:
-            raise StopIteration
+            raise ValueError("truncated frame header")
         (length, flags) = struct.unpack("<IB", head)
         payload = self._src.read(length)
         if len(payload) != length:
             raise ValueError("truncated frame")
-        blob = CompressedBlob.from_bytes(payload)
+        return flags, CompressedBlob.from_bytes(payload)
+
+    def __next__(self) -> np.ndarray:
+        frame = self._read_frame()
+        if frame is None:
+            raise StopIteration
+        flags, blob = frame
         field = codec_class(blob.codec)().decompress(blob)
         if flags & _FLAG_DELTA:
             if self._prev_recon is None:
@@ -195,3 +204,18 @@ class StreamReader:
 
     def read_all(self) -> list[np.ndarray]:
         return list(self)
+
+    def frames(self):
+        """Yield ``(flags, CompressedBlob)`` per frame without reconstructing.
+
+        Decoding a blob runs every per-segment CRC check, so this is the
+        cheap structural-verification walk (``repro archive verify`` uses it
+        on stream entries): no decompression, no delta accumulation.  Shares
+        the underlying file position with :meth:`__next__` — use one access
+        style per reader.
+        """
+        while True:
+            frame = self._read_frame()
+            if frame is None:
+                return
+            yield frame

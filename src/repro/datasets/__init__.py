@@ -1,7 +1,7 @@
 """Evaluation datasets: synthetic SDRBench stand-ins + raw I/O (Table 3)."""
 
 from .io import read_raw, shape_from_filename, write_raw
-from .registry import DATASETS, DatasetInfo, dataset_names, load
+from .registry import DATASETS, DatasetInfo, dataset_names, get_info, load
 from .synthetic import (
     cesm_atm,
     hurricane,
@@ -18,6 +18,7 @@ __all__ = [
     "DATASETS",
     "DatasetInfo",
     "dataset_names",
+    "get_info",
     "load",
     "read_raw",
     "write_raw",

@@ -15,7 +15,7 @@ import numpy as np
 
 from . import synthetic
 
-__all__ = ["DatasetInfo", "DATASETS", "load", "dataset_names"]
+__all__ = ["DatasetInfo", "DATASETS", "load", "get_info", "dataset_names"]
 
 
 @dataclass(frozen=True)
@@ -117,10 +117,14 @@ def dataset_names() -> list[str]:
     return list(DATASETS)
 
 
-def load(name: str, shape: tuple[int, ...] | None = None, seed: int = 0) -> np.ndarray:
-    """Generate the synthetic stand-in for dataset ``name``."""
+def get_info(name: str) -> DatasetInfo:
+    """Look up one registry entry; KeyError names the known datasets."""
     try:
-        info = DATASETS[name]
+        return DATASETS[name]
     except KeyError:
         raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASETS)}") from None
-    return info.generate(shape=shape, seed=seed)
+
+
+def load(name: str, shape: tuple[int, ...] | None = None, seed: int = 0) -> np.ndarray:
+    """Generate the synthetic stand-in for dataset ``name``."""
+    return get_info(name).generate(shape=shape, seed=seed)

@@ -32,6 +32,7 @@ __all__ = [
     "aggregate_tile_traces",
     "tiled_trace_time_s",
     "tiled_throughput_gibs",
+    "lpt_order",
     "pipeline_kernels",
     "STAGE_KERNEL_MODELS",
 ]
@@ -105,6 +106,26 @@ def tiled_trace_time_s(traces, device: DeviceSpec, workers: int, scale: float = 
     for t in times:
         lanes[int(np.argmin(lanes))] += t
     return max(lanes)
+
+
+def lpt_order(costs, workers: int) -> tuple[list[int], float]:
+    """Longest-processing-time scheduling order for independent jobs.
+
+    Generalizes the tile-makespan model above to any job list with scalar
+    cost estimates (the batch archive service feeds it per-field element
+    counts).  Returns ``(order, makespan)``: the job indices sorted for LPT
+    submission (largest first — a pool consuming them greedily realizes the
+    classic 4/3-approximate makespan) and the modeled makespan of the greedy
+    assignment onto ``workers`` lanes, in the same unit as ``costs``.
+    """
+    costs = [float(c) for c in costs]
+    order = sorted(range(len(costs)), key=costs.__getitem__, reverse=True)
+    if not order:
+        return [], 0.0
+    lanes = [0.0] * max(1, min(int(workers), len(costs)))
+    for i in order:
+        lanes[int(np.argmin(lanes))] += costs[i]
+    return order, max(lanes)
 
 
 def tiled_throughput_gibs(

@@ -1,0 +1,30 @@
+"""Batch archive service: manifest-driven compression jobs over a corpus.
+
+The step from "compressor library" to "compression service" (ROADMAP north
+star): a TOML/JSON manifest describes many fields (dataset refs or raw files,
+per-field error bounds, codec/tile overrides), :class:`BatchRunner` schedules
+them LPT-first across the serial/threads/processes executors with per-field
+failure isolation and resume-from-archive, and :class:`ArchiveStore` keeps
+the resulting frames behind a random-access index with per-tile partial
+decompression.  ``repro batch`` / ``repro archive {ls,get,verify}`` expose
+the same machinery on the command line.
+"""
+
+from .archive import ArchiveEntry, ArchiveError, ArchiveStore
+from .manifest import FieldSpec, JobSpec, ManifestError, load_manifest, parse_manifest
+from .runner import REPORT_SCHEMA, BatchReport, BatchRunner, FieldResult
+
+__all__ = [
+    "ArchiveEntry",
+    "ArchiveError",
+    "ArchiveStore",
+    "FieldSpec",
+    "JobSpec",
+    "ManifestError",
+    "load_manifest",
+    "parse_manifest",
+    "BatchReport",
+    "BatchRunner",
+    "FieldResult",
+    "REPORT_SCHEMA",
+]

@@ -1,0 +1,529 @@
+"""Archive storage: many compressed fields behind one random-access index.
+
+An archive holds the output of a batch job — one :class:`~repro.core.
+container.CompressedBlob` frame (or one snapshot stream) per field — and an
+index mapping field names to locations plus decode metadata.  Two backends
+share the same API and index schema:
+
+``file``
+    A single ``.rpza`` file::
+
+        magic  b"RPZARCH1"
+        index pointer slot (fixed offset 8):
+            index_offset u64, index_len u64, index_crc32 u32, b"RPZAIDX1"
+        frames and index JSON blocks, appended in completion order
+
+    Every add appends the new frame *after* the current index JSON, writes a
+    fresh index after the frame, and only then flips the fixed-position
+    pointer slot — the previous index stays intact on disk until the new one
+    is durable, so a crash at any point leaves a readable archive that has
+    lost at most the in-flight field (superseded index blocks become dead
+    bytes; reclaim them by rewriting the archive).  Retrieval seeks straight
+    to the frame — no scan, O(entry) reads.
+
+``dir``
+    A directory with ``index.json`` plus one ``.rpz`` file per entry
+    (atomically replaced index), interoperable with the single-field CLI.
+
+Partial decompression: entries written as multi-tile frames (``tiles = [...]``
+in the manifest) decode one tile at a time through the existing per-tile
+offsets in the tiled container (:func:`repro.core.container.unpack_tile`) —
+:meth:`ArchiveStore.get_tile` touches only that tile's bytes after the single
+frame read.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import re
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.container import CompressedBlob, ContainerError, is_tiled
+from ..core.registry import codec_class, codec_name
+from ..core.streaming import StreamReader
+from ..core.tiling import TiledEngine
+
+__all__ = ["ArchiveEntry", "ArchiveError", "ArchiveStore"]
+
+_MAGIC = b"RPZARCH1"
+_PTR_MAGIC = b"RPZAIDX1"
+_PTR_FMT = "<QQI"
+_PTR_OFF = len(_MAGIC)
+_PTR_LEN = struct.calcsize(_PTR_FMT) + len(_PTR_MAGIC)
+_DATA_START = _PTR_OFF + _PTR_LEN
+_INDEX_VERSION = 1
+
+
+class ArchiveError(ValueError):
+    """Raised on malformed archives, unknown entries or backend misuse."""
+
+
+@dataclass
+class ArchiveEntry:
+    """Index row: where one field lives and how to decode/size it."""
+
+    name: str
+    kind: str  # "field" | "stream"
+    codec: str
+    shape: tuple[int, ...]
+    dtype: str
+    eb_abs: float
+    nbytes: int
+    timesteps: int = 1
+    offset: int | None = None  # file backend
+    filename: str | None = None  # dir backend
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def raw_nbytes(self) -> int:
+        n = self.timesteps * np.dtype(self.dtype).itemsize
+        for d in self.shape:
+            n *= int(d)
+        return n
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.raw_nbytes / max(1, self.nbytes)
+
+    def to_json(self) -> dict:
+        doc = {
+            "name": self.name,
+            "kind": self.kind,
+            "codec": self.codec,
+            "shape": list(self.shape),
+            "dtype": self.dtype,
+            "eb_abs": self.eb_abs,
+            "nbytes": self.nbytes,
+            "timesteps": self.timesteps,
+            "meta": self.meta,
+        }
+        if self.offset is not None:
+            doc["offset"] = self.offset
+        if self.filename is not None:
+            doc["filename"] = self.filename
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "ArchiveEntry":
+        try:
+            return cls(
+                name=doc["name"],
+                kind=doc["kind"],
+                codec=doc["codec"],
+                shape=tuple(int(d) for d in doc["shape"]),
+                dtype=doc["dtype"],
+                eb_abs=float(doc["eb_abs"]),
+                nbytes=int(doc["nbytes"]),
+                timesteps=int(doc.get("timesteps", 1)),
+                offset=doc.get("offset"),
+                filename=doc.get("filename"),
+                meta=dict(doc.get("meta", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArchiveError(f"corrupt archive index entry: {exc!r}") from None
+
+
+def _safe_filename(name: str, taken: set[str]) -> str:
+    base = re.sub(r"[^A-Za-z0-9._-]+", "_", name).strip("._") or "entry"
+    candidate, n = f"{base}.rpz", 1
+    while candidate in taken:
+        candidate, n = f"{base}~{n}.rpz", n + 1
+    return candidate
+
+
+class ArchiveStore:
+    """Named random-access store of compressed frames (file or dir backend).
+
+    Open modes: ``"r"`` (read-only, must exist), ``"a"`` (append, created if
+    missing), ``"w"`` (create/overwrite).  Use as a context manager or call
+    :meth:`close`; the file backend keeps one OS handle open.
+    """
+
+    def __init__(self, path: str, mode: str = "r", backend: str | None = None):
+        if mode not in ("r", "a", "w"):
+            raise ValueError(f"mode must be 'r', 'a' or 'w', got {mode!r}")
+        if backend not in (None, "file", "dir"):
+            raise ValueError(f"backend must be 'file' or 'dir', got {backend!r}")
+        if backend is None:
+            backend = "dir" if os.path.isdir(path) or path.endswith(os.sep) else "file"
+        self.path = os.path.normpath(path)
+        self.mode = mode
+        self.backend = backend
+        self._entries: dict[str, ArchiveEntry] = {}
+        self._fh: io.BufferedRandom | None = None
+        # File backend: where the live index JSON currently sits; the next
+        # frame is appended directly after it (see _append_frame).
+        self._index_off = _DATA_START
+        self._index_len = 0
+        if backend == "file":
+            self._open_file()
+        else:
+            self._open_dir()
+
+    # --------------------------------------------------------------- lifecycle
+    @classmethod
+    def open(cls, path: str, mode: str = "r", backend: str | None = None) -> "ArchiveStore":
+        return cls(path, mode=mode, backend=backend)
+
+    def __enter__(self) -> "ArchiveStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # ------------------------------------------------------------ file backend
+    def _open_file(self) -> None:
+        exists = os.path.exists(self.path)
+        if self.mode == "r":
+            if not exists:
+                raise ArchiveError(f"archive {self.path} does not exist")
+            self._fh = open(self.path, "rb")
+            self._load_file_index()
+        elif self.mode == "a" and exists:
+            self._fh = open(self.path, "r+b")
+            self._load_file_index()
+        else:  # "w", or "a" on a missing file
+            self._fh = open(self.path, "w+b")
+            self._fh.write(_MAGIC)
+            self._fh.write(b"\0" * _PTR_LEN)  # placeholder slot, flipped below
+            self._write_file_index(_DATA_START)
+
+    def _load_file_index(self) -> None:
+        fh = self._fh
+        assert fh is not None
+        fh.seek(0, os.SEEK_END)
+        total = fh.tell()
+        if total < _DATA_START:
+            raise ArchiveError(f"{self.path}: too short to be an archive")
+        fh.seek(0)
+        if fh.read(len(_MAGIC)) != _MAGIC:
+            raise ArchiveError(f"{self.path}: bad magic — not a repro archive")
+        slot = fh.read(_PTR_LEN)
+        if slot[-len(_PTR_MAGIC) :] != _PTR_MAGIC:
+            raise ArchiveError(
+                f"{self.path}: missing index footer pointer (truncated or interrupted write)"
+            )
+        idx_off, idx_len, idx_crc = struct.unpack(_PTR_FMT, slot[: -len(_PTR_MAGIC)])
+        if idx_off < _DATA_START or idx_off + idx_len > total:
+            raise ArchiveError(f"{self.path}: index footer is truncated or out of bounds")
+        fh.seek(idx_off)
+        raw = fh.read(idx_len)
+        if (zlib.crc32(raw) & 0xFFFFFFFF) != idx_crc:
+            raise ArchiveError(f"{self.path}: archive index failed its CRC check")
+        self._entries = self._decode_index(raw)
+        self._index_off = idx_off
+        self._index_len = idx_len
+
+    def _write_file_index(self, offset: int) -> None:
+        """Write the index JSON at ``offset``, then flip the pointer slot.
+
+        The previous index block is never touched before the pointer flips,
+        so a crash at any point leaves the old index live and the archive
+        readable.
+        """
+        fh = self._fh
+        assert fh is not None
+        raw = self._encode_index()
+        crc = zlib.crc32(raw) & 0xFFFFFFFF
+        fh.seek(offset)
+        fh.write(raw)
+        fh.truncate()
+        fh.flush()
+        fh.seek(_PTR_OFF)
+        fh.write(struct.pack(_PTR_FMT, offset, len(raw), crc))
+        fh.write(_PTR_MAGIC)
+        fh.flush()
+        self._index_off = offset
+        self._index_len = len(raw)
+
+    # ------------------------------------------------------------- dir backend
+    @property
+    def _index_path(self) -> str:
+        return os.path.join(self.path, "index.json")
+
+    def _open_dir(self) -> None:
+        exists = os.path.isdir(self.path)
+        if self.mode == "r":
+            if not exists or not os.path.exists(self._index_path):
+                raise ArchiveError(f"archive {self.path} does not exist (no index.json)")
+            with open(self._index_path, "rb") as fh:
+                self._entries = self._decode_index(fh.read())
+        elif self.mode == "a" and exists and os.path.exists(self._index_path):
+            with open(self._index_path, "rb") as fh:
+                self._entries = self._decode_index(fh.read())
+        else:
+            os.makedirs(self.path, exist_ok=True)
+            self._flush_dir_index()
+
+    def _flush_dir_index(self) -> None:
+        tmp = self._index_path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(self._encode_index())
+        os.replace(tmp, self._index_path)
+
+    # ------------------------------------------------------------ index codecs
+    def _encode_index(self) -> bytes:
+        doc = {
+            "format": "repro.archive-index",
+            "version": _INDEX_VERSION,
+            "entries": [e.to_json() for e in self._entries.values()],
+        }
+        return json.dumps(doc, indent=1, sort_keys=True).encode("utf-8")
+
+    def _decode_index(self, raw: bytes) -> dict[str, ArchiveEntry]:
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ArchiveError(f"{self.path}: corrupt archive index: {exc}") from None
+        if not isinstance(doc, dict) or doc.get("format") != "repro.archive-index":
+            raise ArchiveError(f"{self.path}: not a repro archive index")
+        if doc.get("version") != _INDEX_VERSION:
+            raise ArchiveError(f"{self.path}: unsupported archive index version")
+        entries = [ArchiveEntry.from_json(e) for e in doc.get("entries", [])]
+        return {e.name: e for e in entries}
+
+    # ------------------------------------------------------------------ reads
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> list[str]:
+        return list(self._entries)
+
+    def entries(self) -> list[ArchiveEntry]:
+        return list(self._entries.values())
+
+    def entry(self, name: str) -> ArchiveEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ArchiveError(
+                f"no entry {name!r} in archive {self.path} (have {sorted(self._entries)})"
+            ) from None
+
+    def read_bytes(self, name: str) -> bytes:
+        """Raw stored bytes of one entry (a frame, or a snapshot stream)."""
+        e = self.entry(name)
+        if self.backend == "file":
+            assert self._fh is not None and e.offset is not None
+            self._fh.seek(e.offset)
+            raw = self._fh.read(e.nbytes)
+        else:
+            assert e.filename is not None
+            try:
+                with open(os.path.join(self.path, e.filename), "rb") as fh:
+                    raw = fh.read()
+            except OSError as exc:
+                raise ArchiveError(f"entry {name!r}: cannot read payload: {exc}") from None
+        if len(raw) != e.nbytes:
+            raise ArchiveError(
+                f"entry {name!r}: payload is {len(raw)} bytes, index says {e.nbytes}"
+            )
+        return raw
+
+    def get_blob(self, name: str) -> CompressedBlob:
+        e = self.entry(name)
+        if e.kind != "field":
+            raise ArchiveError(f"entry {name!r} is a {e.kind} entry; use get()")
+        try:
+            return CompressedBlob.from_bytes(self.read_bytes(name))
+        except ContainerError as exc:
+            raise ArchiveError(f"entry {name!r}: {exc}") from None
+
+    def get(self, name: str) -> np.ndarray:
+        """Decompress one entry; stream entries come back stacked (T, ...)."""
+        e = self.entry(name)
+        if e.kind == "stream":
+            try:
+                snaps = StreamReader(self.read_bytes(name)).read_all()
+            except ValueError as exc:  # includes ContainerError
+                raise ArchiveError(f"entry {name!r}: corrupt stream: {exc}") from None
+            return np.stack(snaps)
+        blob = self.get_blob(name)
+        return codec_class(blob.codec)().decompress(blob)
+
+    def get_tile(self, name: str, index: int) -> tuple[tuple[int, ...], np.ndarray]:
+        """Partial decompression: decode one tile of a tiled field entry."""
+        blob = self.get_blob(name)
+        if not is_tiled(blob):
+            raise ArchiveError(f"entry {name!r} is not a tiled frame — no per-tile access")
+        try:
+            return TiledEngine().decompress_tile(blob, index)
+        except IndexError as exc:
+            raise ArchiveError(f"entry {name!r}: {exc}") from None
+
+    # ----------------------------------------------------------------- writes
+    def _check_writable(self) -> None:
+        if self.mode == "r":
+            raise ArchiveError(f"archive {self.path} is open read-only")
+
+    def add_blob(
+        self, name: str, blob, meta: dict | None = None, replace: bool = False
+    ) -> ArchiveEntry:
+        """Store one compressed field under ``name``.
+
+        ``blob`` may be a :class:`CompressedBlob` or its serialized bytes
+        (batch workers ship bytes across process boundaries); bytes are
+        parsed once for index metadata and stored verbatim.  Duplicate names
+        are rejected unless ``replace=True`` (see :meth:`_add`).
+        """
+        if isinstance(blob, (bytes, bytearray, memoryview)):
+            payload = bytes(blob)
+            try:
+                blob = CompressedBlob.from_bytes(payload)
+            except ContainerError as exc:
+                raise ArchiveError(f"entry {name!r}: not a valid frame: {exc}") from None
+        else:
+            payload = blob.to_bytes()
+        return self._add(
+            name,
+            payload,
+            kind="field",
+            codec=codec_name(blob.codec),
+            shape=blob.shape,
+            dtype=np.dtype(blob.dtype).name,
+            eb_abs=float(blob.error_bound),
+            timesteps=1,
+            meta=meta,
+            replace=replace,
+        )
+
+    def add_stream(
+        self,
+        name: str,
+        payload: bytes,
+        shape: tuple[int, ...],
+        dtype,
+        eb_abs: float,
+        timesteps: int,
+        meta: dict | None = None,
+        replace: bool = False,
+    ) -> ArchiveEntry:
+        """Store a :class:`~repro.core.streaming.StreamWriter` byte stream."""
+        return self._add(
+            name,
+            payload,
+            kind="stream",
+            codec="stream",
+            shape=tuple(int(d) for d in shape),
+            dtype=np.dtype(dtype).name,
+            eb_abs=float(eb_abs),
+            timesteps=int(timesteps),
+            meta=meta,
+            replace=replace,
+        )
+
+    def _add(
+        self,
+        name,
+        payload,
+        *,
+        kind,
+        codec,
+        shape,
+        dtype,
+        eb_abs,
+        timesteps,
+        meta,
+        replace=False,
+    ):
+        # Replacing re-points the index at a freshly appended frame; in the
+        # file backend the old frame's bytes become unreachable (space is
+        # reclaimed by rewriting the archive, not in place).
+        self._check_writable()
+        if name in self._entries and not replace:
+            raise ArchiveError(f"entry {name!r} already exists in archive {self.path}")
+        old = self._entries.get(name)
+        entry = ArchiveEntry(
+            name=name,
+            kind=kind,
+            codec=codec,
+            shape=tuple(int(d) for d in shape),
+            dtype=str(dtype),
+            eb_abs=eb_abs,
+            nbytes=len(payload),
+            timesteps=timesteps,
+            meta=dict(meta or {}),
+        )
+        if self.backend == "file":
+            # Append after the live index; the old index block stays valid
+            # until _write_file_index flips the pointer slot, so a crash in
+            # this window cannot lose already-archived entries.
+            assert self._fh is not None
+            frame_off = self._index_off + self._index_len
+            entry.offset = frame_off
+            self._fh.seek(frame_off)
+            self._fh.write(payload)
+            self._fh.flush()
+            self._entries[name] = entry
+            self._write_file_index(frame_off + len(payload))
+        else:
+            if old is not None and old.filename:
+                entry.filename = old.filename  # overwrite in place
+            else:
+                taken = {e.filename for e in self._entries.values() if e.filename}
+                entry.filename = _safe_filename(name, taken)
+            with open(os.path.join(self.path, entry.filename), "wb") as fh:
+                fh.write(payload)
+            self._entries[name] = entry
+            self._flush_dir_index()
+        return entry
+
+    # ----------------------------------------------------------------- verify
+    def verify(self, name: str | None = None, deep: bool = False) -> list[str]:
+        """Integrity-check entries; returns a list of problem strings.
+
+        The structural pass re-reads every frame through the container layer
+        (per-segment CRCs, index/shape/dtype agreement); ``deep=True`` also
+        decompresses each entry fully.
+        """
+        problems: list[str] = []
+        targets = [self.entry(name)] if name is not None else self.entries()
+        for e in targets:
+            try:
+                if e.kind == "stream":
+                    nframes = sum(1 for _ in StreamReader(self.read_bytes(e.name)).frames())
+                    if nframes != e.timesteps:
+                        problems.append(
+                            f"{e.name}: stream holds {nframes} frames, index says {e.timesteps}"
+                        )
+                    if deep:
+                        stack = self.get(e.name)
+                        if stack.shape[1:] != e.shape:
+                            problems.append(
+                                f"{e.name}: snapshot shape {stack.shape[1:]} != index {e.shape}"
+                            )
+                else:
+                    blob = self.get_blob(e.name)
+                    if blob.shape != e.shape:
+                        problems.append(f"{e.name}: frame shape {blob.shape} != index {e.shape}")
+                    if np.dtype(blob.dtype).name != e.dtype:
+                        problems.append(
+                            f"{e.name}: frame dtype {np.dtype(blob.dtype).name} != index {e.dtype}"
+                        )
+                    if codec_name(blob.codec) != e.codec:
+                        problems.append(
+                            f"{e.name}: frame codec {codec_name(blob.codec)} != index {e.codec}"
+                        )
+                    if deep:
+                        recon = codec_class(blob.codec)().decompress(blob)
+                        if recon.shape != e.shape:
+                            problems.append(
+                                f"{e.name}: reconstruction shape {recon.shape} != index {e.shape}"
+                            )
+            except (ArchiveError, ContainerError, ValueError) as exc:
+                problems.append(f"{e.name}: {exc}")
+        return problems

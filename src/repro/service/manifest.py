@@ -1,0 +1,285 @@
+"""Manifest-driven batch job specification (the service's input format).
+
+A manifest describes a *corpus* — many fields compressed, stored and
+retrieved together — the way SDRBench archives, climate ensembles and RTM
+shot gathers actually arrive.  It is a TOML (Python >= 3.11, via ``tomllib``)
+or JSON document with one ``[job]`` table of defaults and a ``[[fields]]``
+array of per-field entries::
+
+    [job]
+    name = "climate-q3"
+    eb = 1e-3              # value-range-relative bound (default for fields)
+    mode = "cr"            # "cr" | "tp"
+    executor = "processes" # field-level fan-out: serial | threads | processes
+    workers = 0            # 0 = auto-size to the visible CPU count
+
+    [[fields]]
+    name = "temperature"
+    dataset = "cesm-atm"   # repro.datasets registry reference
+    shape = [128, 256]     # optional shape override
+    seed = 1
+
+    [[fields]]
+    name = "pressure"
+    path = "pressure_96_96_96.f32"   # SDRBench raw file instead of a dataset
+    eb = 1e-4              # per-field override
+    tiles = [48, 48, 48]   # tiled multi-frame entry (random-access decode)
+
+    [[fields]]
+    name = "shots"
+    dataset = "rtm"
+    timesteps = 4          # >1: snapshot-stream entry (core.streaming)
+    temporal = true        # delta-compress successive snapshots
+
+Structural errors (no fields, duplicate names, unknown dataset, conflicting
+keys) raise :class:`ManifestError` at parse time; *runtime* problems (a raw
+file missing on disk, a compression failure) are left to the runner's
+per-field failure isolation so one bad field cannot sink the corpus.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from ..core.tiling import EXECUTORS
+from ..datasets.registry import get_info
+
+try:  # Python >= 3.11; on 3.10 TOML manifests degrade to a clean error
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - exercised only on py3.10
+    _toml = None
+
+__all__ = [
+    "FieldSpec",
+    "JobSpec",
+    "ManifestError",
+    "load_manifest",
+    "parse_manifest",
+    "resolve_field_path",
+]
+
+_MODES = ("cr", "tp")
+
+
+class ManifestError(ValueError):
+    """Raised when a manifest file is unreadable, unparsable or invalid."""
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One corpus entry: a dataset/file reference plus compression knobs."""
+
+    name: str
+    dataset: str | None = None
+    path: str | None = None
+    shape: tuple[int, ...] | None = None
+    seed: int = 0
+    eb: float | None = None
+    mode: str | None = None
+    codec: str | None = None
+    tiles: tuple[int, ...] | None = None
+    timesteps: int = 1
+    temporal: bool = False
+
+    @property
+    def is_stream(self) -> bool:
+        return self.timesteps > 1
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A parsed manifest: job-level defaults plus the field corpus."""
+
+    name: str
+    eb: float = 1e-3
+    mode: str = "cr"
+    executor: str = "serial"
+    workers: int = 0
+    tiles: tuple[int, ...] | None = None
+    base_dir: str = "."
+    fields: tuple[FieldSpec, ...] = field(default_factory=tuple)
+
+    def resolve_path(self, spec: FieldSpec) -> str:
+        """Raw-file refs are relative to the manifest's directory."""
+        return resolve_field_path(self.base_dir, spec)
+
+
+def resolve_field_path(base_dir: str, spec: FieldSpec) -> str:
+    """The one place manifest-relative raw paths are resolved (runner + cost
+    estimation must agree on what a field ref points at)."""
+    assert spec.path is not None
+    if os.path.isabs(spec.path):
+        return spec.path
+    return os.path.join(base_dir, spec.path)
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise ManifestError(msg)
+
+
+def _as_dims(value, what: str) -> tuple[int, ...] | None:
+    if value is None:
+        return None
+    ok = (
+        isinstance(value, (list, tuple))
+        and bool(value)
+        and all(isinstance(d, int) and d > 0 for d in value)
+    )
+    _require(ok, f"{what} must be a non-empty list of positive integers, got {value!r}")
+    return tuple(int(d) for d in value)
+
+
+_FIELD_KEYS = frozenset(
+    (
+        "name",
+        "dataset",
+        "path",
+        "shape",
+        "dims",
+        "seed",
+        "eb",
+        "mode",
+        "codec",
+        "tiles",
+        "timesteps",
+        "temporal",
+    )
+)
+
+
+def _parse_field(raw: dict, pos: int) -> FieldSpec:
+    _require(isinstance(raw, dict), f"fields[{pos}] must be a table/object")
+    unknown = set(raw) - _FIELD_KEYS
+    _require(not unknown, f"fields[{pos}]: unknown keys {sorted(unknown)}")
+    name = raw.get("name")
+    _require(isinstance(name, str) and name.strip(), f"fields[{pos}] needs a non-empty 'name'")
+    dataset, path = raw.get("dataset"), raw.get("path")
+    _require(
+        (dataset is None) != (path is None),
+        f"field {name!r} must set exactly one of 'dataset' or 'path'",
+    )
+    if dataset is not None:
+        try:
+            get_info(dataset)
+        except KeyError as exc:
+            raise ManifestError(f"field {name!r}: {exc.args[0]}") from None
+    shape = _as_dims(raw.get("shape", raw.get("dims")), f"field {name!r} shape")
+    tiles = _as_dims(raw.get("tiles"), f"field {name!r} tiles")
+    eb = raw.get("eb")
+    if eb is not None:
+        _require(isinstance(eb, (int, float)) and eb > 0, f"field {name!r}: eb must be > 0")
+    mode = raw.get("mode")
+    _require(mode is None or mode in _MODES, f"field {name!r}: mode must be one of {_MODES}")
+    codec = raw.get("codec")
+    _require(
+        codec is None or tiles is None,
+        f"field {name!r}: tiles are only supported for the cuSZ-Hi codecs, not codec={codec!r}",
+    )
+    timesteps = raw.get("timesteps", 1)
+    _require(
+        isinstance(timesteps, int) and timesteps >= 1,
+        f"field {name!r}: timesteps must be an integer >= 1",
+    )
+    _require(
+        timesteps == 1 or path is None,
+        f"field {name!r}: snapshot streams (timesteps > 1) need a 'dataset' reference",
+    )
+    seed = raw.get("seed", 0)
+    _require(
+        isinstance(seed, int) and not isinstance(seed, bool),
+        f"field {name!r}: seed must be an integer",
+    )
+    return FieldSpec(
+        name=name.strip(),
+        dataset=dataset,
+        path=path,
+        shape=shape,
+        seed=int(seed),
+        eb=float(eb) if eb is not None else None,
+        mode=mode,
+        codec=codec,
+        tiles=tiles,
+        timesteps=timesteps,
+        temporal=bool(raw.get("temporal", False)),
+    )
+
+
+def parse_manifest(doc: dict, base_dir: str = ".", default_name: str = "batch") -> JobSpec:
+    """Validate a decoded manifest document into a :class:`JobSpec`."""
+    _require(isinstance(doc, dict), "manifest root must be a table/object")
+    unknown_root = set(doc) - {"job", "fields"}
+    _require(not unknown_root, f"manifest: unknown top-level keys {sorted(unknown_root)}")
+    job = doc.get("job", {})
+    _require(isinstance(job, dict), "'job' must be a table/object")
+    unknown_job = set(job) - {"name", "eb", "mode", "executor", "workers", "tiles"}
+    _require(not unknown_job, f"job: unknown keys {sorted(unknown_job)}")
+    raw_fields = doc.get("fields")
+    _require(
+        isinstance(raw_fields, list) and raw_fields,
+        "manifest needs a non-empty 'fields' array",
+    )
+    eb = job.get("eb", 1e-3)
+    _require(isinstance(eb, (int, float)) and eb > 0, "job.eb must be > 0")
+    mode = job.get("mode", "cr")
+    _require(mode in _MODES, f"job.mode must be one of {_MODES}")
+    executor = job.get("executor", "serial")
+    _require(executor in EXECUTORS, f"job.executor must be one of {EXECUTORS}")
+    workers = job.get("workers", 0)
+    _require(isinstance(workers, int) and workers >= 0, "job.workers must be >= 0 (0 = auto)")
+    fields = tuple(_parse_field(raw, i) for i, raw in enumerate(raw_fields))
+    names = [f.name for f in fields]
+    dupes = sorted({n for n in names if names.count(n) > 1})
+    _require(not dupes, f"duplicate field names: {dupes}")
+    return JobSpec(
+        name=str(job.get("name", default_name)),
+        eb=float(eb),
+        mode=mode,
+        executor=executor,
+        workers=int(workers),
+        tiles=_as_dims(job.get("tiles"), "job.tiles"),
+        base_dir=base_dir,
+        fields=fields,
+    )
+
+
+def load_manifest(path: str) -> JobSpec:
+    """Read + parse a TOML/JSON manifest file (format chosen by suffix)."""
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise ManifestError(f"cannot read manifest {path}: {exc.strerror or exc}") from None
+    suffix = os.path.splitext(path)[1].lower()
+    if suffix == ".json":
+        doc = _loads_json(raw, path)
+    elif suffix == ".toml":
+        doc = _loads_toml(raw, path)
+    else:  # no/unknown suffix: try JSON first (a strict subset), then TOML
+        try:
+            doc = _loads_json(raw, path)
+        except ManifestError:
+            doc = _loads_toml(raw, path)
+    base_dir = os.path.dirname(os.path.abspath(path))
+    default_name = os.path.splitext(os.path.basename(path))[0]
+    return parse_manifest(doc, base_dir=base_dir, default_name=default_name)
+
+
+def _loads_json(raw: bytes, path: str) -> dict:
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ManifestError(f"{path}: invalid JSON manifest: {exc}") from None
+
+
+def _loads_toml(raw: bytes, path: str) -> dict:
+    if _toml is None:
+        raise ManifestError(
+            f"{path}: TOML manifests need Python >= 3.11 (tomllib); use a JSON manifest here"
+        )
+    try:
+        return _toml.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, _toml.TOMLDecodeError) as exc:
+        raise ManifestError(f"{path}: invalid TOML manifest: {exc}") from None

@@ -1,0 +1,376 @@
+"""Batch runner: schedule a manifest's fields across executors into an archive.
+
+The runner is the orchestration layer between a :class:`~repro.service.
+manifest.JobSpec` and an :class:`~repro.service.archive.ArchiveStore`:
+
+* **LPT scheduling** — fields are submitted largest-first
+  (:func:`repro.gpu.costmodel.lpt_order` over per-field element counts), so a
+  greedy worker pool approximates the minimal makespan instead of letting one
+  big trailing field serialize the run;
+* **failure isolation** — each field compresses inside its own try/except
+  *and* behind ``map_tiles(..., return_exceptions=True)``, so a missing raw
+  file or a poisoned worker marks that one field ``failed`` in the report and
+  the rest of the corpus still lands in the archive;
+* **resumability** — fields whose names are already present in the archive
+  are reported ``skipped`` without being scheduled, so re-running a manifest
+  after a crash (or appending fields to it) only pays for the missing work;
+* **machine-readable report** — :class:`BatchReport` serializes per-field
+  CR / bitrate / PSNR / max-error / wall time plus corpus totals as JSON
+  (schema id ``repro.batch-report/1``), the artifact CI tracks per-PR.
+
+Process-executor note: the field is the unit of parallelism here, so worker
+processes force any per-field *tile* executor down to ``serial`` — nesting
+pools would oversubscribe the same cores they are scheduled on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..core.registry import codec_class, codec_name
+from ..core.streaming import StreamWriter
+from ..core.tiling import map_tiles, resolve_workers
+from ..datasets.io import read_raw
+from ..datasets.registry import get_info, load
+from ..gpu.costmodel import lpt_order
+from ..metrics.error import max_abs_error, psnr
+from .archive import ArchiveStore
+from .manifest import FieldSpec, JobSpec, resolve_field_path
+
+__all__ = ["BatchRunner", "BatchReport", "FieldResult", "REPORT_SCHEMA"]
+
+REPORT_SCHEMA = "repro.batch-report/1"
+
+
+@dataclass
+class FieldResult:
+    """Everything the report records about one manifest field."""
+
+    name: str
+    status: str  # "ok" | "skipped" | "failed"
+    error: str | None = None
+    codec: str | None = None
+    shape: tuple[int, ...] | None = None
+    dtype: str | None = None
+    timesteps: int = 1
+    eb_abs: float | None = None
+    raw_nbytes: int = 0
+    nbytes: int = 0
+    cr: float | None = None
+    bitrate: float | None = None
+    psnr: float | None = None
+    max_err: float | None = None
+    wall_s: float = 0.0
+
+
+@dataclass
+class BatchReport:
+    """JSON-serializable job report (per-field metrics + corpus totals)."""
+
+    job: str
+    archive: str
+    executor: str
+    workers: int
+    fields: list[FieldResult] = field(default_factory=list)
+    wall_s: float = 0.0
+    lpt_makespan_elements: float = 0.0
+
+    @property
+    def counts(self) -> dict[str, int]:
+        out = {"ok": 0, "skipped": 0, "failed": 0}
+        for r in self.fields:
+            out[r.status] = out.get(r.status, 0) + 1
+        return out
+
+    def to_json(self) -> dict:
+        ok = [r for r in self.fields if r.status == "ok"]
+        raw = sum(r.raw_nbytes for r in ok)
+        packed = sum(r.nbytes for r in ok)
+        return {
+            "schema": REPORT_SCHEMA,
+            "job": self.job,
+            "archive": self.archive,
+            "executor": self.executor,
+            "workers": self.workers,
+            "wall_s": self.wall_s,
+            "scheduler": {
+                "policy": "lpt",
+                "modeled_makespan_elements": self.lpt_makespan_elements,
+            },
+            "totals": {
+                "fields": len(self.fields),
+                **self.counts,
+                "raw_nbytes": raw,
+                "compressed_nbytes": packed,
+                "cr": raw / packed if packed else None,
+            },
+            "fields": [asdict(r) for r in self.fields],
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+
+    @property
+    def ok(self) -> bool:
+        return self.counts["failed"] == 0
+
+
+# --------------------------------------------------------------------------
+# Per-field job, module-level so the "processes" executor can pickle it.
+# Returns (FieldResult, payload, stream_info) — the parent owns the archive.
+# --------------------------------------------------------------------------
+
+
+def _load_field(spec: FieldSpec, base_dir: str, seed_offset: int = 0) -> np.ndarray:
+    if spec.dataset is not None:
+        return load(spec.dataset, shape=spec.shape, seed=spec.seed + seed_offset)
+    path = resolve_field_path(base_dir, spec)
+    data = read_raw(path, shape=spec.shape)
+    if data.ndim == 1 and spec.shape is None:
+        raise ValueError(f"{path}: pass 'shape' in the manifest (or encode dims in the name)")
+    return data
+
+
+def _run_field_job(job) -> tuple[FieldResult, bytes | None, dict | None]:
+    # Deferred: repro.compress is defined after the subpackage imports in
+    # repro/__init__, so a module-level import here would be circular.
+    from .. import compress as _compress
+
+    spec, defaults = job
+    t0 = time.perf_counter()
+    result = FieldResult(name=spec.name, status="failed", timesteps=spec.timesteps)
+    try:
+        eb = spec.eb if spec.eb is not None else defaults["eb"]
+        mode = spec.mode or defaults["mode"]
+        tiles = spec.tiles if spec.tiles is not None else defaults["tiles"]
+        if spec.codec is not None:
+            tiles = None  # manifest validation already rejects codec+tiles
+        inner_executor = defaults["inner_executor"] if tiles is not None else None
+        if spec.is_stream:
+            payload, info = _compress_stream(spec, defaults, eb, mode, tiles, inner_executor)
+            first = info["first_snapshot"]
+            result.shape = tuple(first.shape)
+            result.dtype = first.dtype.name
+            result.codec = "stream"
+            result.eb_abs = info["eb_abs"]
+            result.raw_nbytes = info["raw_nbytes"]
+            result.psnr = info["psnr"]
+            result.max_err = info["max_err"]
+            stream_info = {
+                "shape": tuple(first.shape),
+                "dtype": first.dtype.name,
+                "eb_abs": info["eb_abs"],
+                "timesteps": spec.timesteps,
+            }
+        else:
+            data = _load_field(spec, defaults["base_dir"])
+            blob = _compress(
+                data,
+                eb=eb,
+                mode=mode,
+                codec=spec.codec,
+                tile_shape=tiles,
+                workers=defaults["inner_workers"] if tiles is not None else 0,
+                executor=inner_executor,
+            )
+            recon = codec_class(blob.codec)().decompress(blob)
+            payload = blob.to_bytes()
+            stream_info = None
+            result.shape = tuple(data.shape)
+            result.dtype = data.dtype.name
+            result.codec = codec_name(blob.codec)
+            result.eb_abs = float(blob.error_bound)
+            result.raw_nbytes = int(data.nbytes)
+            result.psnr = psnr(data, recon)
+            result.max_err = max_abs_error(data, recon)
+        result.nbytes = len(payload)
+        result.cr = result.raw_nbytes / max(1, result.nbytes)
+        n_elements = result.raw_nbytes // np.dtype(result.dtype).itemsize
+        result.bitrate = 8.0 * result.nbytes / max(1, n_elements)
+        result.status = "ok"
+        result.wall_s = time.perf_counter() - t0
+        return result, payload, stream_info
+    except Exception as exc:  # noqa: BLE001 — per-field isolation boundary
+        result.error = f"{type(exc).__name__}: {exc}"
+        result.wall_s = time.perf_counter() - t0
+        return result, None, None
+
+
+def _compress_stream(spec, defaults, eb, mode, tiles, inner_executor):
+    from ..core.compressor import CuszHi  # local: keep module import light
+
+    snapshots = [
+        _load_field(spec, defaults["base_dir"], seed_offset=t) for t in range(spec.timesteps)
+    ]
+    kwargs = {}
+    if tiles is not None:
+        kwargs.update(
+            tile_shape=tiles,
+            workers=defaults["inner_workers"],
+            executor=inner_executor or "threads",
+        )
+    if spec.codec is not None:
+        from ..analysis.harness import make_compressor
+
+        writer = StreamWriter(
+            compressor=make_compressor(spec.codec), eb=eb, temporal=spec.temporal
+        )
+    else:
+        writer = StreamWriter(
+            compressor=None if not kwargs and mode == "cr" else CuszHi(mode=mode),
+            eb=eb,
+            temporal=spec.temporal,
+            **kwargs,
+        )
+    for snap in snapshots:
+        writer.append(snap)
+    payload = writer.getvalue()
+    from ..core.streaming import StreamReader
+
+    recons = StreamReader(payload).read_all()
+    stack, rstack = np.stack(snapshots), np.stack(recons)
+    return payload, {
+        "first_snapshot": snapshots[0],
+        "eb_abs": float(writer._abs_eb),
+        "raw_nbytes": int(stack.nbytes),
+        "psnr": psnr(stack, rstack),
+        "max_err": max_abs_error(stack, rstack),
+    }
+
+
+class BatchRunner:
+    """Run one manifest into one archive under the configured executor."""
+
+    def __init__(
+        self,
+        spec: JobSpec,
+        archive: ArchiveStore | str,
+        executor: str | None = None,
+        workers: int | None = None,
+        resume: bool = True,
+    ):
+        self.spec = spec
+        self._owns_archive = not isinstance(archive, ArchiveStore)
+        self.archive = (
+            archive if isinstance(archive, ArchiveStore) else ArchiveStore(archive, mode="a")
+        )
+        self.executor = executor or spec.executor
+        self.workers = resolve_workers(spec.workers if workers is None else workers)
+        self.resume = resume
+
+    # ------------------------------------------------------------- scheduling
+    def _estimate_cost(self, spec: FieldSpec) -> float:
+        """Per-field work estimate in elements (feeds the LPT makespan model)."""
+        shape = spec.shape
+        if shape is None and spec.dataset is not None:
+            shape = get_info(spec.dataset).default_shape
+        if shape is not None:
+            return float(np.prod(shape)) * spec.timesteps
+        try:
+            return os.path.getsize(self.spec.resolve_path(spec)) / 4.0
+        except OSError:
+            return 0.0
+
+    # -------------------------------------------------------------------- run
+    def run(self) -> BatchReport:
+        """Run the job; closes the archive afterwards if this runner opened it
+        from a path (callers passing an ArchiveStore keep ownership)."""
+        try:
+            return self._run()
+        finally:
+            if self._owns_archive:
+                self.archive.close()
+
+    def _run(self) -> BatchReport:
+        report = BatchReport(
+            job=self.spec.name,
+            archive=self.archive.path,
+            executor=self.executor,
+            workers=self.workers,
+        )
+        t0 = time.perf_counter()
+        pending: list[FieldSpec] = []
+        for fspec in self.spec.fields:
+            if self.resume and fspec.name in self.archive:
+                report.fields.append(FieldResult(name=fspec.name, status="skipped"))
+            else:
+                pending.append(fspec)
+        defaults = {
+            "eb": self.spec.eb,
+            "mode": self.spec.mode,
+            "tiles": self.spec.tiles,
+            "base_dir": self.spec.base_dir,
+            # Fields are the unit of parallelism: never nest process pools,
+            # and keep tile threads off the lanes process workers run on.
+            "inner_executor": "serial" if self.executor == "processes" else "threads",
+            "inner_workers": 1 if self.executor != "serial" else 0,
+        }
+        costs = [self._estimate_cost(f) for f in pending]
+        order, makespan = lpt_order(costs, self.workers)
+        report.lpt_makespan_elements = makespan
+        jobs = [(pending[i], defaults) for i in order]
+        by_name: dict[str, FieldResult] = {}
+        replace = not self.resume
+
+        def archive_outcome(i: int, outcome) -> None:
+            # Runs in this thread as each field completes: the archive (and
+            # its index footer) is flushed per field, so a crashed batch
+            # loses at most the in-flight fields and payloads are dropped as
+            # they land instead of accumulating across the whole corpus.
+            fspec = jobs[i][0]
+            if isinstance(outcome, Exception):
+                by_name[fspec.name] = FieldResult(
+                    name=fspec.name,
+                    status="failed",
+                    error=f"{type(outcome).__name__}: {outcome}",
+                    timesteps=fspec.timesteps,
+                )
+                return
+            result, payload, stream_info = outcome
+            if result.status == "ok":
+                try:
+                    if stream_info is not None:
+                        self.archive.add_stream(
+                            fspec.name,
+                            payload,
+                            shape=stream_info["shape"],
+                            dtype=stream_info["dtype"],
+                            eb_abs=stream_info["eb_abs"],
+                            timesteps=stream_info["timesteps"],
+                            meta={"job": self.spec.name},
+                            replace=replace,
+                        )
+                    else:
+                        self.archive.add_blob(
+                            fspec.name,
+                            payload,
+                            meta={"job": self.spec.name},
+                            replace=replace,
+                        )
+                except Exception as exc:  # noqa: BLE001 — isolation boundary
+                    result.status = "failed"
+                    result.error = f"{type(exc).__name__}: {exc}"
+            by_name[fspec.name] = result
+
+        map_tiles(
+            _run_field_job,
+            jobs,
+            self.executor,
+            self.workers,
+            return_exceptions=True,
+            on_result=archive_outcome,
+        )
+        # Report rows follow manifest order, not LPT submission order.
+        for fspec in pending:
+            report.fields.append(by_name[fspec.name])
+        position = {f.name: i for i, f in enumerate(self.spec.fields)}
+        report.fields.sort(key=lambda r: position[r.name])
+        report.wall_s = time.perf_counter() - t0
+        return report

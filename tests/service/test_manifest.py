@@ -1,0 +1,158 @@
+"""Manifest parsing and validation (repro.service.manifest)."""
+
+import json
+
+import pytest
+
+from repro.service import ManifestError, load_manifest, parse_manifest
+
+try:
+    import tomllib  # noqa: F401
+
+    HAVE_TOML = True
+except ImportError:  # pragma: no cover - py3.10 CI lane
+    HAVE_TOML = False
+
+TOML_MANIFEST = """
+[job]
+name = "corpus"
+eb = 1e-3
+mode = "cr"
+executor = "threads"
+workers = 2
+tiles = [32, 32]
+
+[[fields]]
+name = "temp"
+dataset = "cesm-atm"
+shape = [64, 128]
+seed = 3
+
+[[fields]]
+name = "rho"
+path = "rho_24_24_24.f32"
+eb = 1e-4
+mode = "tp"
+
+[[fields]]
+name = "shots"
+dataset = "rtm"
+shape = [16, 16, 16]
+timesteps = 3
+temporal = true
+"""
+
+
+def _json_doc() -> dict:
+    return {
+        "job": {"name": "corpus", "eb": 1e-3},
+        "fields": [
+            {"name": "temp", "dataset": "cesm-atm", "shape": [64, 128]},
+            {"name": "rho", "path": "rho_24_24_24.f32"},
+        ],
+    }
+
+
+class TestParse:
+    def test_json_manifest(self, tmp_path):
+        path = tmp_path / "job.json"
+        path.write_text(json.dumps(_json_doc()))
+        spec = load_manifest(str(path))
+        assert spec.name == "corpus"
+        assert [f.name for f in spec.fields] == ["temp", "rho"]
+        assert spec.fields[0].shape == (64, 128)
+        assert spec.base_dir == str(tmp_path)
+        assert spec.resolve_path(spec.fields[1]) == str(tmp_path / "rho_24_24_24.f32")
+
+    @pytest.mark.skipif(not HAVE_TOML, reason="tomllib needs Python >= 3.11")
+    def test_toml_manifest(self, tmp_path):
+        path = tmp_path / "job.toml"
+        path.write_text(TOML_MANIFEST)
+        spec = load_manifest(str(path))
+        assert spec.executor == "threads" and spec.workers == 2
+        assert spec.tiles == (32, 32)
+        rho = spec.fields[1]
+        assert rho.eb == 1e-4 and rho.mode == "tp" and rho.path == "rho_24_24_24.f32"
+        shots = spec.fields[2]
+        assert shots.is_stream and shots.timesteps == 3 and shots.temporal
+
+    def test_suffixless_falls_back(self, tmp_path):
+        path = tmp_path / "manifest"
+        path.write_text(json.dumps(_json_doc()))
+        assert load_manifest(str(path)).name == "corpus"
+
+    def test_defaults(self):
+        spec = parse_manifest({"fields": [{"name": "x", "dataset": "nyx"}]})
+        assert spec.eb == 1e-3 and spec.mode == "cr" and spec.executor == "serial"
+        assert spec.fields[0].eb is None  # falls back to the job default at run time
+
+
+class TestValidation:
+    def test_missing_file(self):
+        with pytest.raises(ManifestError, match="cannot read manifest"):
+            load_manifest("/nonexistent/path.toml")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{ not json")
+        with pytest.raises(ManifestError, match="invalid JSON"):
+            load_manifest(str(path))
+
+    def test_no_fields(self):
+        with pytest.raises(ManifestError, match="non-empty 'fields'"):
+            parse_manifest({"job": {"name": "empty"}})
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ManifestError, match="unknown dataset 'nope'"):
+            parse_manifest({"fields": [{"name": "x", "dataset": "nope"}]})
+
+    def test_dataset_xor_path(self):
+        with pytest.raises(ManifestError, match="exactly one of 'dataset' or 'path'"):
+            parse_manifest({"fields": [{"name": "x", "dataset": "nyx", "path": "x.f32"}]})
+        with pytest.raises(ManifestError, match="exactly one of 'dataset' or 'path'"):
+            parse_manifest({"fields": [{"name": "x"}]})
+
+    def test_duplicate_names(self):
+        doc = {"fields": [{"name": "x", "dataset": "nyx"}, {"name": "x", "dataset": "rtm"}]}
+        with pytest.raises(ManifestError, match="duplicate field names"):
+            parse_manifest(doc)
+
+    def test_unknown_field_keys(self):
+        with pytest.raises(ManifestError, match="unknown keys"):
+            parse_manifest({"fields": [{"name": "x", "dataset": "nyx", "wat": 1}]})
+
+    def test_codec_with_tiles_rejected(self):
+        doc = {"fields": [{"name": "x", "dataset": "nyx", "codec": "cusz-l", "tiles": [8]}]}
+        with pytest.raises(ManifestError, match="tiles are only supported"):
+            parse_manifest(doc)
+
+    def test_stream_needs_dataset(self):
+        doc = {"fields": [{"name": "x", "path": "x.f32", "timesteps": 4}]}
+        with pytest.raises(ManifestError, match="need a 'dataset'"):
+            parse_manifest(doc)
+
+    def test_bad_job_values(self):
+        with pytest.raises(ManifestError, match="job.eb"):
+            parse_manifest({"job": {"eb": -1}, "fields": [{"name": "x", "dataset": "nyx"}]})
+        with pytest.raises(ManifestError, match="job.executor"):
+            parse_manifest(
+                {"job": {"executor": "gpu"}, "fields": [{"name": "x", "dataset": "nyx"}]}
+            )
+
+    def test_bad_shape(self):
+        with pytest.raises(ManifestError, match="shape"):
+            parse_manifest({"fields": [{"name": "x", "dataset": "nyx", "shape": [0, 4]}]})
+
+    def test_bad_seed(self):
+        with pytest.raises(ManifestError, match="seed must be an integer"):
+            parse_manifest({"fields": [{"name": "x", "dataset": "nyx", "seed": "abc"}]})
+
+    def test_unknown_job_keys(self):
+        doc = {"job": {"excutor": "processes"}, "fields": [{"name": "x", "dataset": "nyx"}]}
+        with pytest.raises(ManifestError, match="job: unknown keys"):
+            parse_manifest(doc)
+
+    def test_unknown_root_keys(self):
+        doc = {"jobs": {}, "fields": [{"name": "x", "dataset": "nyx"}]}
+        with pytest.raises(ManifestError, match="unknown top-level keys"):
+            parse_manifest(doc)

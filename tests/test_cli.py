@@ -1,5 +1,7 @@
 """Command-line interface end-to-end tests."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -87,6 +89,165 @@ class TestInfoAndBench:
         assert main(["bench", "--dataset", "nyx", "--eb", "1e-2"]) == 0
         text = capsys.readouterr().out
         assert "cusz-hi-cr" in text and "fzgpu" in text
+
+
+class TestCleanErrors:
+    """info/decompress must fail with exit 2 and a message, never a traceback."""
+
+    def test_info_not_a_container(self, tmp_path, capsys):
+        path = tmp_path / "garbage.rpz"
+        path.write_bytes(b"this is not a container")
+        assert main(["info", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "bad magic" in err
+
+    def test_info_truncated(self, raw_field, tmp_path, capsys):
+        path, _ = raw_field
+        out = tmp_path / "ok.rpz"
+        main(["compress", str(path), "-o", str(out)])
+        full = out.read_bytes()
+        trunc = tmp_path / "trunc.rpz"
+        trunc.write_bytes(full[: len(full) // 2])
+        assert main(["info", str(trunc)]) == 2
+        assert "truncated" in capsys.readouterr().err
+
+    def test_decompress_truncated(self, raw_field, tmp_path, capsys):
+        path, _ = raw_field
+        out = tmp_path / "ok.rpz"
+        main(["compress", str(path), "-o", str(out)])
+        trunc = tmp_path / "trunc.rpz"
+        trunc.write_bytes(out.read_bytes()[:-7])
+        assert main(["decompress", str(trunc), "-o", str(tmp_path / "x.f32")]) == 2
+        assert "truncated" in capsys.readouterr().err
+
+    def test_decompress_missing_file(self, tmp_path, capsys):
+        assert main(["decompress", str(tmp_path / "no.rpz"), "-o", "x.f32"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def manifest(tmp_path):
+    doc = {
+        "job": {"name": "cli-corpus", "eb": 1e-3},
+        "fields": [
+            {"name": "a", "dataset": "nyx", "shape": [16, 16, 16]},
+            {"name": "b", "dataset": "miranda", "shape": [16, 24, 24], "tiles": [8, 12, 12]},
+        ],
+    }
+    path = tmp_path / "job.json"
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestBatchArchive:
+    def test_batch_roundtrip_and_report(self, manifest, tmp_path, capsys):
+        arch = tmp_path / "c.rpza"
+        report = tmp_path / "r.json"
+        rc = main(["batch", str(manifest), "-o", str(arch), "--report", str(report)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 ok, 0 skipped, 0 failed" in out
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "repro.batch-report/1"
+        assert doc["totals"]["ok"] == 2
+
+        assert main(["archive", "ls", str(arch)]) == 0
+        ls = capsys.readouterr().out
+        assert "a" in ls and "cusz-hi-tiled" in ls
+
+        recon_path = tmp_path / "a.f32"
+        assert main(["archive", "get", str(arch), "a", "-o", str(recon_path)]) == 0
+        recon = np.fromfile(recon_path, dtype=np.float32).reshape(16, 16, 16)
+        data = load("nyx", shape=(16, 16, 16))
+        from repro.service import ArchiveStore
+
+        with ArchiveStore(str(arch)) as store:
+            eb = store.entry("a").eb_abs
+        assert np.abs(data.astype(np.float64) - recon.astype(np.float64)).max() <= eb
+
+        assert main(["archive", "verify", str(arch), "--deep"]) == 0
+
+    def test_batch_resume_skips(self, manifest, tmp_path, capsys):
+        arch = tmp_path / "c.rpza"
+        assert main(["batch", str(manifest), "-o", str(arch)]) == 0
+        capsys.readouterr()
+        assert main(["batch", str(manifest), "-o", str(arch)]) == 0
+        assert "2 skipped" in capsys.readouterr().out
+
+    def test_batch_partial_tile_get(self, manifest, tmp_path, capsys):
+        arch = tmp_path / "c.rpza"
+        main(["batch", str(manifest), "-o", str(arch)])
+        out = tmp_path / "tile.f32"
+        assert main(["archive", "get", str(arch), "b", "--tile", "0", "-o", str(out)]) == 0
+        tile = np.fromfile(out, dtype=np.float32)
+        assert tile.size == 8 * 12 * 12
+
+    def test_batch_missing_manifest(self, tmp_path, capsys):
+        rc = main(["batch", str(tmp_path / "none.toml"), "-o", str(tmp_path / "c.rpza")])
+        assert rc == 2
+        assert "cannot read manifest" in capsys.readouterr().err
+
+    def test_batch_unknown_dataset(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"fields": [{"name": "x", "dataset": "not-a-set"}]}))
+        rc = main(["batch", str(path), "-o", str(tmp_path / "c.rpza")])
+        assert rc == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_batch_failed_field_exits_1(self, tmp_path, capsys):
+        doc = {
+            "fields": [
+                {"name": "ok", "dataset": "nyx", "shape": [12, 12, 12]},
+                {"name": "gone", "path": "missing.f32"},
+            ]
+        }
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(doc))
+        rc = main(["batch", str(path), "-o", str(tmp_path / "c.rpza")])
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_archive_ls_missing(self, tmp_path, capsys):
+        assert main(["archive", "ls", str(tmp_path / "none.rpza")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_archive_corrupt_index(self, manifest, tmp_path, capsys):
+        arch = tmp_path / "c.rpza"
+        main(["batch", str(manifest), "-o", str(arch)])
+        capsys.readouterr()
+        raw = arch.read_bytes()
+        arch.write_bytes(raw[:-11])  # clip into the footer
+        assert main(["archive", "ls", str(arch)]) == 2
+        assert "footer" in capsys.readouterr().err
+
+    def test_archive_get_unknown_entry(self, manifest, tmp_path, capsys):
+        arch = tmp_path / "c.rpza"
+        main(["batch", str(manifest), "-o", str(arch)])
+        capsys.readouterr()
+        assert main(["archive", "get", str(arch), "zz", "-o", str(tmp_path / "x")]) == 2
+        assert "no entry 'zz'" in capsys.readouterr().err
+
+    def test_archive_verify_detects_corruption(self, manifest, tmp_path, capsys):
+        arch = tmp_path / "c.rpza"
+        main(["batch", str(manifest), "-o", str(arch)])
+        capsys.readouterr()
+        from repro.service import ArchiveStore
+
+        with ArchiveStore(str(arch)) as store:
+            offset = store.entry("a").offset
+        raw = bytearray(arch.read_bytes())
+        raw[offset + 50] ^= 0xFF
+        arch.write_bytes(bytes(raw))
+        assert main(["archive", "verify", str(arch)]) == 1
+        assert "PROBLEM" in capsys.readouterr().err
+
+    def test_batch_dir_backend(self, manifest, tmp_path, capsys):
+        arch = tmp_path / "archdir"
+        rc = main(["batch", str(manifest), "-o", str(arch), "--backend", "dir"])
+        assert rc == 0
+        assert (arch / "index.json").exists()
+        assert main(["archive", "ls", str(arch)]) == 0
+        assert "dir backend" in capsys.readouterr().out
 
 
 class TestTiledFlags:

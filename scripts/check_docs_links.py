@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Validate intra-repo markdown links (stdlib only; CI runs this).
+
+Scans README.md, CHANGES.md, ROADMAP.md and everything under docs/ for
+markdown links and images.  Relative targets must exist on disk (anchors are
+stripped; pure in-page ``#anchor`` links and external ``http(s)``/``mailto``
+targets are skipped).  Exits 1 listing every broken link as
+``file:line: target``.
+
+Usage::
+
+    python scripts/check_docs_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+# Every markdown link/image target — `[text](target)`, `![alt](target)` and
+# the outer layer of nested image-links like `[![badge](img)](url)` — ends
+# with a `](target)` sequence, so matching on that alone catches them all
+# (including both targets of the nested form, which a `[text](target)`
+# pattern would miss for the outer link).
+_LINK = re.compile(r"\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp:", "#")
+
+DOC_GLOBS = ("README.md", "CHANGES.md", "ROADMAP.md", "docs/*.md")
+
+
+def iter_links(text: str):
+    """Yield ``(lineno, target)`` for every markdown link in ``text``."""
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for target in _LINK.findall(line):
+            yield lineno, target
+
+
+def check_file(path: str, root: str) -> tuple[list[str], int]:
+    """Returns ``(problems, links_seen)`` for one markdown file."""
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    problems = []
+    links = 0
+    base = os.path.dirname(path)
+    for lineno, target in iter_links(text):
+        links += 1
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        local = target.split("#", 1)[0]
+        if not local:
+            continue
+        resolved = os.path.normpath(os.path.join(base, local))
+        if not os.path.exists(resolved):
+            rel = os.path.relpath(path, root)
+            problems.append(f"{rel}:{lineno}: broken link -> {target}")
+    return problems, links
+
+
+def main(argv: list[str]) -> int:
+    root = os.path.abspath(argv[1]) if len(argv) > 1 else os.getcwd()
+    files: list[str] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(glob.glob(os.path.join(root, pattern))))
+    if not files:
+        print(f"error: no markdown files found under {root}", file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    links = 0
+    for path in files:
+        file_problems, file_links = check_file(path, root)
+        problems.extend(file_problems)
+        links += file_links
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        print(f"{len(problems)} broken link(s) in {len(files)} files", file=sys.stderr)
+        return 1
+    print(f"{len(files)} markdown files, {links} links, all intra-repo targets exist")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

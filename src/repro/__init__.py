@@ -35,6 +35,7 @@ from . import (
     metrics,
     predictor,
     quantizer,
+    server,
     service,
 )
 from .core.compressor import CuszHi
@@ -42,7 +43,7 @@ from .core.config import CR_MODE, TP_MODE, CuszHiConfig
 from .core.container import CompressedBlob, ContainerError
 from .core.registry import codec_class, codec_name, list_codecs
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "compress",
@@ -64,6 +65,7 @@ __all__ = [
     "metrics",
     "predictor",
     "quantizer",
+    "server",
     "service",
 ]
 

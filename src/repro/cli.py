@@ -10,6 +10,10 @@ Usage::
     repro archive   ls corpus.rpza
     repro archive   get corpus.rpza temperature -o temp.f32
     repro archive   verify corpus.rpza --deep
+    repro serve     ./archives --port 8077 --cache-bytes 268435456
+
+Each subcommand's ``--help`` names the documentation file covering it
+(``docs/ARCHITECTURE.md``, ``docs/API.md``, ``docs/COOKBOOK.md``).
 
 Input files follow the SDRBench raw convention; dims can be embedded in the
 file name (``name_512_512_512.f32``) or passed via ``-d``.  Exit codes: 0 on
@@ -239,11 +243,67 @@ def _cmd_archive_verify(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .server import DEFAULT_CACHE_BYTES, ReproServer
+
+    server = ReproServer(
+        args.root,
+        host=args.host,
+        port=args.port,
+        cache_bytes=DEFAULT_CACHE_BYTES if args.cache_bytes is None else args.cache_bytes,
+        workers=args.workers,
+        batch_window_ms=args.batch_window_ms,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        # The OS picks the port for --port 0; clients need to see the result.
+        print(
+            f"serving {server.archive_root} on http://{server.host}:{server.port}",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        # Anything up to the first successful bind: socket in use, privileged
+        # port, unwritable archive root, ...
+        return _fail(
+            f"cannot serve {args.root} on {args.host}:{args.port}: {exc.strerror or exc}"
+        )
+    return 0
+
+
+def _add_command(sub, name: str, help_text: str, doc: str, **kwargs):
+    """Register a subcommand with the one-line help + docs-pointer epilog
+    every command carries (tests assert both are present and non-empty)."""
+    return sub.add_parser(
+        name,
+        help=help_text,
+        description=help_text[0].upper() + help_text[1:] + ".",
+        epilog=f"Documentation: {doc}",
+        **kwargs,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
 
-    pc = sub.add_parser("compress", help="compress a raw float field")
+    pc = _add_command(
+        sub,
+        "compress",
+        "compress a raw float field into a .rpz container",
+        "docs/COOKBOOK.md (recipe: compress a field)",
+    )
     pc.add_argument("input")
     pc.add_argument("-o", "--output", required=True)
     pc.add_argument("-d", "--dims", type=int, nargs="+", default=None)
@@ -269,22 +329,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pc.set_defaults(func=_cmd_compress)
 
-    pd = sub.add_parser("decompress", help="decompress a .rpz stream")
+    pd = _add_command(
+        sub,
+        "decompress",
+        "decompress a .rpz stream back to raw field bytes",
+        "docs/COOKBOOK.md (recipe: decompress)",
+    )
     pd.add_argument("input")
     pd.add_argument("-o", "--output", required=True)
     pd.set_defaults(func=_cmd_decompress)
 
-    pi = sub.add_parser("info", help="inspect a .rpz stream")
+    pi = _add_command(
+        sub,
+        "info",
+        "inspect a .rpz stream's header, segments and metadata",
+        "docs/ARCHITECTURE.md (container format reference)",
+    )
     pi.add_argument("input")
     pi.set_defaults(func=_cmd_info)
 
-    pb = sub.add_parser("bench", help="quick CR/PSNR table on a synthetic dataset")
+    pb = _add_command(
+        sub,
+        "bench",
+        "quick CR/PSNR table on a synthetic dataset",
+        "docs/API.md (analysis harness)",
+    )
     pb.add_argument("--dataset", default="nyx")
     pb.add_argument("--eb", type=float, default=1e-3)
     pb.add_argument("--seed", type=int, default=0)
     pb.set_defaults(func=_cmd_bench)
 
-    pba = sub.add_parser("batch", help="run a manifest of fields into an archive")
+    pba = _add_command(
+        sub,
+        "batch",
+        "run a manifest of fields into an archive",
+        "docs/API.md (JobSpec / BatchRunner) and docs/COOKBOOK.md (recipe: resume a batch)",
+    )
     pba.add_argument("manifest", help="TOML/JSON job manifest (see repro.service.manifest)")
     pba.add_argument("-o", "--output", required=True, help="archive path (.rpza file or dir)")
     pba.add_argument("--report", default=None, help="write the JSON job report here")
@@ -310,14 +390,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pba.set_defaults(func=_cmd_batch)
 
-    pa = sub.add_parser("archive", help="inspect / read / verify a batch archive")
+    pa = _add_command(
+        sub,
+        "archive",
+        "inspect / read / verify a batch archive",
+        "docs/API.md (ArchiveStore) and docs/ARCHITECTURE.md (.rpza format)",
+    )
     asub = pa.add_subparsers(dest="archive_command", required=True)
 
-    pls = asub.add_parser("ls", help="list archive entries")
+    pls = _add_command(
+        asub,
+        "ls",
+        "list archive entries with codec, shape and ratio",
+        "docs/API.md (ArchiveStore)",
+    )
     pls.add_argument("archive")
     pls.set_defaults(func=_cmd_archive_ls)
 
-    pget = asub.add_parser("get", help="extract one entry as a raw field")
+    pget = _add_command(
+        asub,
+        "get",
+        "extract one entry (or one tile of it) as a raw field",
+        "docs/COOKBOOK.md (recipe: partial tile read)",
+    )
     pget.add_argument("archive")
     pget.add_argument("name")
     pget.add_argument("-o", "--output", required=True)
@@ -330,13 +425,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pget.set_defaults(func=_cmd_archive_get)
 
-    pver = asub.add_parser("verify", help="integrity-check archive entries")
+    pver = _add_command(
+        asub,
+        "verify",
+        "integrity-check archive entries (structural, or --deep full decode)",
+        "docs/API.md (ArchiveStore.verify)",
+    )
     pver.add_argument("archive")
     pver.add_argument("name", nargs="?", default=None)
     pver.add_argument(
         "--deep", action="store_true", help="also fully decompress every checked entry"
     )
     pver.set_defaults(func=_cmd_archive_verify)
+
+    ps = _add_command(
+        sub,
+        "serve",
+        "serve compress/decompress, archive reads and batch jobs over HTTP",
+        "docs/API.md (HTTP endpoints) and docs/COOKBOOK.md (recipe: query /stats)",
+    )
+    ps.add_argument(
+        "root",
+        nargs="?",
+        default=".",
+        help="archive root directory served under /archives (created if missing)",
+    )
+    ps.add_argument("--host", default="127.0.0.1", help="bind address")
+    ps.add_argument("--port", type=int, default=8077, help="bind port (0 = pick a free port)")
+    ps.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        help="LRU byte budget for decompressed tile/field reads (0 disables the cache)",
+    )
+    ps.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="compress micro-batch worker threads (0 = CPU count)",
+    )
+    ps.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        help="how long a /compress request waits to coalesce with others",
+    )
+    ps.set_defaults(func=_cmd_serve)
     return p
 
 

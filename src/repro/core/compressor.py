@@ -41,6 +41,19 @@ def resolve_error_bound(data: np.ndarray, eb: float, eb_mode: str) -> float:
     The paper's tables quote value-range-relative bounds: ``abs_eb = eb *
     (max - min)`` (§6.1.4).  A constant field gets an epsilon range so the
     bound stays positive.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> data = np.array([0.0, 2.0, 10.0], dtype=np.float32)
+    >>> resolve_error_bound(data, 1e-3, "rel")   # 1e-3 * (10 - 0)
+    0.01
+    >>> resolve_error_bound(data, 1e-3, "abs")   # absolute bounds pass through
+    0.001
+    >>> resolve_error_bound(data, -1.0, "abs")
+    Traceback (most recent call last):
+        ...
+    ValueError: error bound must be positive
     """
     if eb <= 0:
         raise ValueError("error bound must be positive")

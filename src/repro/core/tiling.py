@@ -102,6 +102,24 @@ class TileGrid:
         ``"remainder"`` keeps partial edge tiles as-is; ``"merge"`` extends
         the last full tile over any edge remainder thinner than 4 points, so
         no degenerate slivers are produced.
+
+    Examples
+    --------
+    >>> grid = TileGrid((64, 64), (32, 32))
+    >>> grid.grid_shape, grid.n_tiles
+    ((2, 2), 4)
+    >>> grid[3]
+    Tile(index=3, origin=(32, 32), shape=(32, 32))
+    >>> grid[1].slices
+    (slice(0, 32, None), slice(32, 64, None))
+
+    A 65-point axis leaves a 1-point sliver; ``"merge"`` (the default) folds
+    it into the last full tile instead of keeping a degenerate edge tile:
+
+    >>> TileGrid((65,), (32,)).n_tiles
+    2
+    >>> [t.shape for t in TileGrid((65,), (32,), boundary="remainder")]
+    [(32,), (32,), (1,)]
     """
 
     def __init__(

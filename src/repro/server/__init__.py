@@ -1,0 +1,25 @@
+"""Async compression service (``repro serve``).
+
+The network layer of the system: a stdlib-only asyncio HTTP server exposing
+compress/decompress, random-access archive reads (whole fields and single
+tiles), and manifest batch jobs — with request micro-batching
+(:class:`MicroBatcher`), a byte-budgeted LRU cache for decompressed reads
+(:class:`ByteBudgetLRU`), and live counters on ``GET /stats``.  See
+``docs/API.md`` for the endpoint reference and ``docs/ARCHITECTURE.md`` for
+where this layer sits in the system.
+"""
+
+from .app import DEFAULT_CACHE_BYTES, HttpError, ReproServer, run_server
+from .batching import MicroBatcher
+from .cache import ByteBudgetLRU
+from .jobs import JobManager
+
+__all__ = [
+    "DEFAULT_CACHE_BYTES",
+    "HttpError",
+    "ReproServer",
+    "run_server",
+    "MicroBatcher",
+    "ByteBudgetLRU",
+    "JobManager",
+]

@@ -1,0 +1,518 @@
+"""Async compression service: a stdlib-only HTTP front end over the engine.
+
+``repro serve`` binds this server over an **archive root** directory and
+exposes the compute (:func:`repro.compress` / :func:`repro.decompress`), the
+storage (:class:`~repro.service.archive.ArchiveStore` random access with
+per-tile partial reads) and the batch layer
+(:class:`~repro.service.runner.BatchRunner` jobs) as HTTP endpoints:
+
+====== ================================== =======================================
+method path                               purpose
+====== ================================== =======================================
+POST   ``/compress``                      raw field bytes -> ``.rpz`` container
+POST   ``/decompress``                    ``.rpz`` container -> raw field bytes
+GET    ``/archives``                      list archives under the root
+GET    ``/archives/{name}``               list one archive's entries
+GET    ``/archives/{name}/fields/{f}``    decompress one entry (``?tile=I``
+                                          decodes a single tile)
+POST   ``/jobs``                          submit a manifest to the batch runner
+GET    ``/jobs/{id}``                     poll a job (report embedded when done)
+GET    ``/healthz``                       liveness probe
+GET    ``/stats``                         cache/batcher/jobs/request counters
+====== ================================== =======================================
+
+Three service-scale mechanisms sit between the sockets and the engine:
+
+* every CPU-heavy call runs off the event loop (``asyncio.to_thread``), so
+  slow decompressions never stall the accept loop or the health probe;
+* concurrent ``POST /compress`` requests coalesce in a
+  :class:`~repro.server.batching.MicroBatcher` and execute as one
+  LPT-scheduled pass (largest field first) instead of racing each other;
+* decompressed tiles/fields land in a byte-budgeted
+  :class:`~repro.server.cache.ByteBudgetLRU`, so the repeated-read hot path
+  (dashboards polling the same slice) costs one dict lookup, with
+  hit/miss/eviction counters surfaced in ``/stats``.
+
+The HTTP layer itself is deliberately small: HTTP/1.1, ``Content-Length``
+bodies only, one request per connection, JSON errors with 4xx for anything
+malformed (bad query, bad body, unknown route) and 5xx only for genuine
+server bugs.  See ``docs/API.md`` for request/response examples.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import math
+import os
+import time
+import urllib.parse
+
+import numpy as np
+
+from ..core.container import ContainerError
+from ..core.registry import codec_name
+from ..service import ArchiveError, ArchiveNotFound, ArchiveStore, ManifestError
+from .batching import MicroBatcher
+from .cache import ByteBudgetLRU
+from .jobs import JobManager, check_bare_name
+
+__all__ = ["HttpError", "ReproServer", "DEFAULT_CACHE_BYTES"]
+
+log = logging.getLogger("repro.server")
+
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 1024 * 1024 * 1024
+_DTYPES = ("float32", "float64")
+
+
+class HttpError(Exception):
+    """A client-visible failure: ``status`` plus a one-line message."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _Request:
+    """One parsed HTTP request (method, decoded path parts, query, body)."""
+
+    def __init__(self, method: str, target: str, headers: dict, body: bytes):
+        self.method = method
+        self.headers = headers
+        self.body = body
+        split = urllib.parse.urlsplit(target)
+        self.path = split.path
+        self.parts = [urllib.parse.unquote(p) for p in split.path.strip("/").split("/") if p]
+        self.query = {
+            k: v[-1] for k, v in urllib.parse.parse_qs(split.query, keep_blank_values=True).items()
+        }
+
+    def query_float(self, key: str, default: float | None = None) -> float | None:
+        raw = self.query.get(key)
+        if raw is None:
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            raise HttpError(400, f"query parameter {key}={raw!r} is not a number") from None
+
+    def query_int(self, key: str, default: int | None = None) -> int | None:
+        raw = self.query.get(key)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise HttpError(400, f"query parameter {key}={raw!r} is not an integer") from None
+
+    def query_dims(self, key: str) -> tuple[int, ...] | None:
+        raw = self.query.get(key)
+        if raw is None:
+            return None
+        try:
+            dims = tuple(int(d) for d in raw.split(",") if d)
+        except ValueError:
+            dims = ()
+        if not dims or any(d <= 0 for d in dims):
+            raise HttpError(
+                400, f"query parameter {key}={raw!r} must be comma-separated positive integers"
+            )
+        return dims
+
+
+def _safe_name(name: str, what: str) -> str:
+    try:
+        return check_bare_name(name)
+    except ValueError:
+        raise HttpError(400, f"invalid {what} {name!r}") from None
+
+
+class ReproServer:
+    """The ``repro serve`` application object (also usable in-process).
+
+    Parameters
+    ----------
+    archive_root:
+        Directory holding the archives served under ``/archives`` and
+        receiving job outputs (created if missing).
+    host, port:
+        Bind address; ``port=0`` picks a free port (read :attr:`port` after
+        :meth:`start` — the pattern the test suite uses).
+    cache_bytes:
+        LRU byte budget for decompressed tiles/fields; ``0`` disables caching.
+    workers:
+        Thread fan-out for the compress micro-batcher (``0`` = CPU count).
+    batch_window_ms, max_batch:
+        Micro-batching window: how long a compress request waits for
+        batchmates, and the batch size that flushes immediately.
+    """
+
+    def __init__(
+        self,
+        archive_root: str,
+        host: str = "127.0.0.1",
+        port: int = 8077,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        workers: int = 0,
+        batch_window_ms: float = 5.0,
+        max_batch: int = 32,
+        max_body: int = _MAX_BODY_BYTES,
+    ):
+        self.archive_root = os.path.abspath(archive_root)
+        self.host = host
+        self._requested_port = port
+        self.max_body = max_body
+        self.cache = ByteBudgetLRU(cache_bytes)
+        self.batcher = MicroBatcher(window_ms=batch_window_ms, max_batch=max_batch, workers=workers)
+        self.jobs = JobManager(self.archive_root, workers=1)
+        self._server: asyncio.AbstractServer | None = None
+        self._started_s = time.time()
+        self._requests = 0
+        self._responses: dict[str, int] = {"2xx": 0, "4xx": 0, "5xx": 0}
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        os.makedirs(self.archive_root, exist_ok=True)
+        self._started_s = time.time()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        log.info("serving %s on http://%s:%d", self.archive_root, self.host, self.port)
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.drain()
+        self.jobs.shutdown()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------- HTTP layer
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            status, headers, body = await self._handle_one(reader)
+        except Exception:  # noqa: BLE001 — last-resort guard for the socket
+            log.exception("unhandled error while serving a request")
+            status, headers, body = self._error_response(500, "internal server error")
+        try:
+            reason = _REASONS.get(status, "Unknown")
+            lines = [f"HTTP/1.1 {status} {reason}"]
+            headers.setdefault("Content-Type", "application/octet-stream")
+            headers["Content-Length"] = str(len(body))
+            headers["Connection"] = "close"
+            lines += [f"{k}: {v}" for k, v in headers.items()]
+            writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+            writer.write(body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass  # client went away mid-response; nothing to salvage
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _handle_one(self, reader) -> tuple[int, dict, bytes]:
+        try:
+            request = await self._read_request(reader)
+        except HttpError as exc:
+            self._requests += 1
+            return self._count(self._error_response(exc.status, exc.message))
+        except (asyncio.IncompleteReadError, ConnectionError):
+            self._requests += 1
+            return self._count(self._error_response(400, "incomplete request"))
+        self._requests += 1
+        try:
+            return self._count(await self._dispatch(request))
+        except HttpError as exc:
+            return self._count(self._error_response(exc.status, exc.message))
+        except Exception:  # noqa: BLE001 — request isolation boundary
+            log.exception("%s %s failed", request.method, request.path)
+            return self._count(self._error_response(500, "internal server error"))
+
+    def _count(self, response):
+        status = response[0]
+        bucket = f"{status // 100}xx"
+        self._responses[bucket] = self._responses.get(bucket, 0) + 1
+        return response
+
+    async def _read_request(self, reader) -> _Request:
+        try:
+            raw = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            raise HttpError(413, "request head too large") from None
+        if len(raw) > _MAX_HEADER_BYTES:
+            raise HttpError(413, "request head too large")
+        head = raw.decode("latin-1").split("\r\n")
+        request_parts = head[0].split(" ")
+        if len(request_parts) != 3 or not request_parts[2].startswith("HTTP/1"):
+            raise HttpError(400, f"malformed request line {head[0]!r}")
+        method, target, _ = request_parts
+        headers: dict[str, str] = {}
+        for line in head[1:]:
+            if not line:
+                continue
+            key, sep, value = line.partition(":")
+            if not sep:
+                raise HttpError(400, f"malformed header line {line!r}")
+            headers[key.strip().lower()] = value.strip()
+        if "transfer-encoding" in headers:
+            raise HttpError(411, "chunked bodies are not supported; send Content-Length")
+        body = b""
+        if "content-length" in headers:
+            try:
+                n = int(headers["content-length"])
+            except ValueError:
+                raise HttpError(400, "malformed Content-Length") from None
+            if n < 0:
+                raise HttpError(400, "malformed Content-Length")
+            if n > self.max_body:
+                raise HttpError(413, f"body of {n} bytes exceeds the {self.max_body} byte limit")
+            body = await reader.readexactly(n)
+        elif method in ("POST", "PUT"):
+            raise HttpError(411, "POST requests need a Content-Length body")
+        return _Request(method, target, headers, body)
+
+    def _error_response(self, status: int, message: str) -> tuple[int, dict, bytes]:
+        return self._json_response({"error": message}, status=status)
+
+    @staticmethod
+    def _json_response(doc, status: int = 200) -> tuple[int, dict, bytes]:
+        body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+        return status, {"Content-Type": "application/json"}, body
+
+    # --------------------------------------------------------------- dispatch
+    async def _dispatch(self, req: _Request) -> tuple[int, dict, bytes]:
+        parts = req.parts
+        if parts == ["healthz"]:
+            self._require(req, "GET")
+            return self._json_response({"status": "ok", "archive_root": self.archive_root})
+        if parts == ["stats"]:
+            self._require(req, "GET")
+            return self._json_response(self.stats())
+        if parts == ["compress"]:
+            self._require(req, "POST")
+            return await self._handle_compress(req)
+        if parts == ["decompress"]:
+            self._require(req, "POST")
+            return await self._handle_decompress(req)
+        if parts == ["archives"]:
+            self._require(req, "GET")
+            return self._handle_archive_list()
+        if len(parts) == 2 and parts[0] == "archives":
+            self._require(req, "GET")
+            return await self._handle_archive_entries(parts[1])
+        if len(parts) == 4 and parts[0] == "archives" and parts[2] == "fields":
+            self._require(req, "GET")
+            return await self._handle_field_read(req, parts[1], parts[3])
+        if parts == ["jobs"]:
+            self._require(req, "POST")
+            return self._handle_job_submit(req)
+        if len(parts) == 2 and parts[0] == "jobs":
+            self._require(req, "GET")
+            return self._handle_job_poll(parts[1])
+        raise HttpError(404, f"no route for {req.path!r}")
+
+    @staticmethod
+    def _require(req: _Request, method: str) -> None:
+        if req.method != method:
+            raise HttpError(405, f"{req.path} only supports {method}")
+
+    # ---------------------------------------------------------------- compute
+    async def _handle_compress(self, req: _Request) -> tuple[int, dict, bytes]:
+        shape = req.query_dims("shape")
+        if shape is None:
+            raise HttpError(400, "POST /compress needs ?shape=D0,D1,... matching the body")
+        dtype = req.query.get("dtype", "float32")
+        if dtype not in _DTYPES:
+            raise HttpError(400, f"dtype must be one of {_DTYPES}, got {dtype!r}")
+        eb = req.query_float("eb", 1e-3)
+        mode = req.query.get("mode", "cr")
+        if mode not in ("cr", "tp"):
+            raise HttpError(400, f"mode must be 'cr' or 'tp', got {mode!r}")
+        expected = math.prod(shape) * np.dtype(dtype).itemsize
+        if len(req.body) != expected:
+            raise HttpError(
+                400,
+                f"body is {len(req.body)} bytes but shape={','.join(map(str, shape))} "
+                f"dtype={dtype} needs {expected}",
+            )
+        data = np.frombuffer(req.body, dtype=dtype).reshape(shape)
+        kwargs = {"eb": eb, "mode": mode}
+        codec = req.query.get("codec")
+        if codec is not None:
+            kwargs["codec"] = codec
+        tiles = req.query_dims("tiles")
+        if tiles is not None:
+            kwargs["tile_shape"] = tiles
+        try:
+            blob = await self.batcher.submit(data, **kwargs)
+        except (ValueError, TypeError, KeyError) as exc:
+            raise HttpError(400, f"compression rejected: {exc}") from None
+        payload = await asyncio.to_thread(blob.to_bytes)  # CRCs off the loop
+        headers = {
+            "X-Repro-Codec": codec_name(blob.codec),
+            "X-Repro-CR": f"{len(req.body) / max(1, len(payload)):.4f}",
+            "X-Repro-Eb-Abs": f"{blob.error_bound:.8g}",
+        }
+        return 200, headers, payload
+
+    async def _handle_decompress(self, req: _Request) -> tuple[int, dict, bytes]:
+        if not req.body:
+            raise HttpError(400, "POST /decompress needs a .rpz container body")
+        from .. import decompress as _decompress
+
+        def _work() -> tuple[np.ndarray, bytes]:
+            data = _decompress(req.body)
+            return data, data.tobytes()
+
+        try:
+            data, body = await asyncio.to_thread(_work)
+        except (ContainerError, ValueError, KeyError) as exc:
+            raise HttpError(400, f"not a decodable container: {exc}") from None
+        headers = {
+            "X-Repro-Shape": ",".join(str(d) for d in data.shape),
+            "X-Repro-Dtype": data.dtype.name,
+        }
+        return 200, headers, body
+
+    # ---------------------------------------------------------------- storage
+    def _archive_path(self, name: str) -> str:
+        _safe_name(name, "archive name")
+        path = os.path.join(self.archive_root, name)
+        if os.path.exists(path):
+            return path
+        if not name.endswith(".rpza") and os.path.exists(path + ".rpza"):
+            return path + ".rpza"
+        raise HttpError(404, f"archive {name!r} not found under the archive root")
+
+    def _handle_archive_list(self) -> tuple[int, dict, bytes]:
+        names = []
+        for entry in sorted(os.listdir(self.archive_root)):
+            full = os.path.join(self.archive_root, entry)
+            if entry.endswith(".rpza") and os.path.isfile(full):
+                names.append(entry)
+            elif os.path.isdir(full) and os.path.exists(os.path.join(full, "index.json")):
+                names.append(entry)
+        return self._json_response({"archives": names})
+
+    async def _handle_archive_entries(self, name: str) -> tuple[int, dict, bytes]:
+        path = self._archive_path(name)
+
+        def _list() -> list[dict]:
+            with ArchiveStore(path, mode="r") as archive:
+                return [e.to_json() for e in archive.entries()]
+
+        try:
+            entries = await asyncio.to_thread(_list)
+        except ArchiveError as exc:
+            raise HttpError(400, str(exc)) from None
+        return self._json_response({"archive": name, "entries": entries})
+
+    async def _handle_field_read(
+        self, req: _Request, name: str, field: str
+    ) -> tuple[int, dict, bytes]:
+        path = self._archive_path(name)
+        tile = req.query_int("tile")
+        key = (path, field, tile)
+        cached = self.cache.get(key)
+        if cached is not None:
+            origin, data = cached
+            served_from = "cache"
+        else:
+
+            def _read():
+                with ArchiveStore(path, mode="r") as archive:
+                    if tile is None:
+                        return None, archive.get(field)
+                    return archive.get_tile(field, tile)
+
+            try:
+                origin, data = await asyncio.to_thread(_read)
+            except ArchiveNotFound as exc:
+                raise HttpError(404, str(exc)) from None
+            except ArchiveError as exc:
+                raise HttpError(400, str(exc)) from None
+            self.cache.put(key, (origin, data), nbytes=data.nbytes)
+            served_from = "store"
+        headers = {
+            "X-Repro-Shape": ",".join(str(d) for d in data.shape),
+            "X-Repro-Dtype": data.dtype.name,
+            "X-Repro-Source": served_from,
+        }
+        if origin is not None:
+            headers["X-Repro-Tile-Origin"] = ",".join(str(o) for o in origin)
+        return 200, headers, await asyncio.to_thread(data.tobytes)
+
+    # ------------------------------------------------------------------- jobs
+    def _handle_job_submit(self, req: _Request) -> tuple[int, dict, bytes]:
+        try:
+            doc = json.loads(req.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"POST /jobs needs a JSON manifest body: {exc}") from None
+        archive = req.query.get("archive")
+        try:
+            snapshot = self.jobs.submit(doc, archive=archive)
+        except (ManifestError, ValueError) as exc:
+            raise HttpError(400, str(exc)) from None
+        return self._json_response(snapshot, status=202)
+
+    def _handle_job_poll(self, job_id: str) -> tuple[int, dict, bytes]:
+        snapshot = self.jobs.get(job_id)
+        if snapshot is None:
+            raise HttpError(404, f"no job {job_id!r}")
+        return self._json_response(snapshot)
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> dict:
+        """Everything ``GET /stats`` reports, as one JSON-ready document."""
+        return {
+            "uptime_s": round(time.time() - self._started_s, 3),
+            "archive_root": self.archive_root,
+            "requests": self._requests,
+            "responses": dict(self._responses),
+            "cache": self.cache.stats(),
+            "batcher": self.batcher.stats(),
+            "jobs": self.jobs.counts(),
+        }
+
+
+async def run_server(server: ReproServer) -> None:
+    """Start ``server`` and serve until cancelled (the CLI entry point)."""
+    await server.start()
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()

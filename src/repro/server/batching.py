@@ -1,0 +1,161 @@
+"""Micro-batching queue: coalesce concurrent compress requests into one pass.
+
+Individually dispatched ``POST /compress`` requests would each pay their own
+executor round-trip and compete for the same cores in arrival order.  The
+micro-batcher instead parks requests for a short window (``window_ms``, or
+until ``max_batch`` requests are waiting), then runs the whole batch as one
+LPT-scheduled pass through the same scheduling machinery the batch archive
+service uses: :func:`repro.gpu.costmodel.lpt_order` picks the submission
+order (largest field first, so a greedy pool approximates the minimal
+makespan) and :func:`repro.core.tiling.map_tiles` fans the ordered jobs out
+across a thread pool with per-request failure isolation — one request with a
+bad dtype fails alone; its batchmates still complete.
+
+The batcher lives on the event loop: ``submit`` is a coroutine returning the
+request's own result, while all NumPy work runs in a single worker dispatch
+per batch off the loop thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from ..core.tiling import map_tiles, resolve_workers
+from ..gpu.costmodel import lpt_order
+
+__all__ = ["MicroBatcher"]
+
+
+def _compress_one(job):
+    """Run one queued compress request (module-level for executor symmetry)."""
+    from .. import compress as _compress
+
+    data, kwargs = job
+    return _compress(data, **kwargs)
+
+
+class MicroBatcher:
+    """Coalesces concurrent compress requests into LPT-scheduled batches."""
+
+    def __init__(self, window_ms: float = 5.0, max_batch: int = 32, workers: int = 0):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.window_s = max(0.0, float(window_ms)) / 1000.0
+        self.max_batch = int(max_batch)
+        self.workers = resolve_workers(workers)
+        self._pending: list[tuple[object, dict, asyncio.Future]] = []
+        self._flusher: asyncio.Task | None = None
+        self._lock = asyncio.Lock()
+        # Counters surfaced in GET /stats.
+        self._requests = 0
+        self._batches = 0
+        self._coalesced = 0  # requests that shared a batch with at least one other
+        self._largest_batch = 0
+        self._busy_s = 0.0
+
+    # ----------------------------------------------------------------- submit
+    async def submit(self, data, **compress_kwargs):
+        """Queue one compress request; resolves to its ``CompressedBlob``.
+
+        Raises whatever :func:`repro.compress` raised for *this* request —
+        failures never leak across the batch.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        batch = None
+        async with self._lock:
+            self._pending.append((data, compress_kwargs, future))
+            self._requests += 1
+            if len(self._pending) >= self.max_batch:
+                batch = self._take_batch()
+            elif len(self._pending) == 1:
+                # First request of a new window: it owns the flush timer.
+                # Keying on "pending went empty -> non-empty" (not on the
+                # previous flusher being done) matters: the previous flusher
+                # may still be *computing* its batch, and a request arriving
+                # during that compute must get its own timer or it would sit
+                # queued until some later request happened to trigger one.
+                self._flusher = loop.create_task(self._flush_after_window())
+        if batch:
+            await self._run_batch(batch)
+        return await future
+
+    async def _flush_after_window(self):
+        if self.window_s:
+            await asyncio.sleep(self.window_s)
+        async with self._lock:
+            batch = self._take_batch()
+        if batch:
+            await self._run_batch(batch)
+
+    def _take_batch(self) -> list:
+        """Claim everything pending (caller holds the lock)."""
+        batch, self._pending = self._pending, []
+        if batch:
+            self._batches += 1
+            self._largest_batch = max(self._largest_batch, len(batch))
+            if len(batch) > 1:
+                self._coalesced += len(batch)
+        return batch
+
+    async def _run_batch(self, batch: list) -> None:
+        # Runs with the lock RELEASED: requests arriving while this batch
+        # computes keep enqueueing and form the next batch instead of
+        # stalling behind this one.
+        t0 = time.perf_counter()
+        # LPT over element counts: the same cost signal BatchRunner feeds the
+        # scheduler, so big fields start first and cannot trail the makespan.
+        costs = [getattr(data, "size", 0) for data, _, _ in batch]
+        order, _ = lpt_order(costs, self.workers)
+        jobs = [(batch[i][0], batch[i][1]) for i in order]
+        try:
+            outcomes = await asyncio.to_thread(
+                map_tiles, _compress_one, jobs, "threads", self.workers, True
+            )
+        except BaseException as exc:
+            # Batch-level failure (executor shutdown, thread exhaustion):
+            # every waiter must still be resolved or its connection hangs.
+            for _, _, future in batch:
+                if not future.done():
+                    future.set_exception(
+                        RuntimeError(f"compress batch failed: {exc!r}")
+                        if not isinstance(exc, Exception)
+                        else exc
+                    )
+            if not isinstance(exc, Exception):
+                raise  # propagate CancelledError and friends
+            return
+        finally:
+            self._busy_s += time.perf_counter() - t0
+        for pos, outcome in zip(order, outcomes):
+            future = batch[pos][2]
+            if future.cancelled():
+                continue
+            if isinstance(outcome, Exception):
+                future.set_exception(outcome)
+            else:
+                future.set_result(outcome)
+
+    async def drain(self):
+        """Flush anything still queued (shutdown path)."""
+        async with self._lock:
+            batch = self._take_batch()
+        if batch:
+            await self._run_batch(batch)
+        if self._flusher is not None:
+            self._flusher.cancel()
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> dict:
+        """Counter snapshot (the ``batcher`` block of ``GET /stats``)."""
+        return {
+            "window_ms": self.window_s * 1000.0,
+            "max_batch": self.max_batch,
+            "workers": self.workers,
+            "requests": self._requests,
+            "batches": self._batches,
+            "coalesced_requests": self._coalesced,
+            "largest_batch": self._largest_batch,
+            "busy_s": round(self._busy_s, 6),
+        }

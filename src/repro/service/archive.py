@@ -49,7 +49,7 @@ from ..core.registry import codec_class, codec_name
 from ..core.streaming import StreamReader
 from ..core.tiling import TiledEngine
 
-__all__ = ["ArchiveEntry", "ArchiveError", "ArchiveStore"]
+__all__ = ["ArchiveEntry", "ArchiveError", "ArchiveNotFound", "ArchiveStore"]
 
 _MAGIC = b"RPZARCH1"
 _PTR_MAGIC = b"RPZAIDX1"
@@ -62,6 +62,14 @@ _INDEX_VERSION = 1
 
 class ArchiveError(ValueError):
     """Raised on malformed archives, unknown entries or backend misuse."""
+
+
+class ArchiveNotFound(ArchiveError):
+    """The archive exists but the requested entry/tile does not.
+
+    A distinct type so callers mapping archive failures onto protocol codes
+    (the HTTP server's 404-vs-400 split) can dispatch on the exception class
+    instead of parsing message text."""
 
 
 @dataclass
@@ -143,6 +151,22 @@ class ArchiveStore:
     Open modes: ``"r"`` (read-only, must exist), ``"a"`` (append, created if
     missing), ``"w"`` (create/overwrite).  Use as a context manager or call
     :meth:`close`; the file backend keeps one OS handle open.
+
+    Examples
+    --------
+    >>> import numpy as np, os, tempfile, repro
+    >>> field = np.linspace(0, 1, 4096, dtype=np.float32).reshape(16, 16, 16)
+    >>> path = os.path.join(tempfile.mkdtemp(), "demo.rpza")
+    >>> with ArchiveStore(path, mode="w", backend="file") as archive:
+    ...     entry = archive.add_blob("rho", repro.compress(field, eb=1e-3))
+    >>> with ArchiveStore(path) as archive:          # mode="r" is the default
+    ...     names = archive.names()
+    ...     recon = archive.get("rho")
+    ...     eb_abs = archive.entry("rho").eb_abs
+    >>> names
+    ['rho']
+    >>> bool(np.max(np.abs(recon - field)) <= eb_abs)
+    True
     """
 
     def __init__(self, path: str, mode: str = "r", backend: str | None = None):
@@ -310,7 +334,7 @@ class ArchiveStore:
         try:
             return self._entries[name]
         except KeyError:
-            raise ArchiveError(
+            raise ArchiveNotFound(
                 f"no entry {name!r} in archive {self.path} (have {sorted(self._entries)})"
             ) from None
 
@@ -363,7 +387,7 @@ class ArchiveStore:
         try:
             return TiledEngine().decompress_tile(blob, index)
         except IndexError as exc:
-            raise ArchiveError(f"entry {name!r}: {exc}") from None
+            raise ArchiveNotFound(f"entry {name!r}: {exc}") from None
 
     # ----------------------------------------------------------------- writes
     def _check_writable(self) -> None:

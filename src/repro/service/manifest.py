@@ -208,7 +208,27 @@ def _parse_field(raw: dict, pos: int) -> FieldSpec:
 
 
 def parse_manifest(doc: dict, base_dir: str = ".", default_name: str = "batch") -> JobSpec:
-    """Validate a decoded manifest document into a :class:`JobSpec`."""
+    """Validate a decoded manifest document into a :class:`JobSpec`.
+
+    Examples
+    --------
+    >>> spec = parse_manifest({
+    ...     "job": {"name": "demo", "eb": 1e-3, "executor": "threads"},
+    ...     "fields": [{"name": "rho", "dataset": "nyx", "shape": [32, 32, 32]},
+    ...                {"name": "p", "path": "p_96_96_96.f32", "eb": 1e-4}],
+    ... })
+    >>> spec.name, spec.executor, len(spec.fields)
+    ('demo', 'threads', 2)
+    >>> spec.fields[0].shape, spec.fields[1].eb
+    ((32, 32, 32), 0.0001)
+
+    Structural problems surface immediately, not at run time:
+
+    >>> parse_manifest({"fields": []})
+    Traceback (most recent call last):
+        ...
+    repro.service.manifest.ManifestError: manifest needs a non-empty 'fields' array
+    """
     _require(isinstance(doc, dict), "manifest root must be a table/object")
     unknown_root = set(doc) - {"job", "fields"}
     _require(not unknown_root, f"manifest: unknown top-level keys {sorted(unknown_root)}")

@@ -1,0 +1,101 @@
+"""MicroBatcher unit tests — scheduling behavior, not HTTP plumbing."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.server import MicroBatcher
+
+
+@pytest.fixture()
+def small_field():
+    return np.fromfunction(
+        lambda i, j, k: np.sin(i / 5) * np.cos(j / 7) + k / 16, (16, 16, 16)
+    ).astype(np.float32)
+
+
+def test_single_request_round_trips(small_field):
+    async def main():
+        batcher = MicroBatcher(window_ms=1, workers=1)
+        blob = await batcher.submit(small_field, eb=1e-3)
+        await batcher.drain()
+        return blob
+
+    blob = asyncio.run(main())
+    assert blob.shape == small_field.shape
+
+
+def test_request_arriving_mid_batch_is_not_starved(small_field):
+    """Regression: a request submitted while a previous batch is *computing*
+    must get its own flush timer.  (Keying the timer on the previous flusher
+    task being done() starves it: that task is still alive while its batch
+    runs, so the late request would wait forever for a successor.)"""
+
+    async def main():
+        batcher = MicroBatcher(window_ms=1, max_batch=100, workers=1)
+        # A couple of larger fields so the first batch computes long enough
+        # for the follow-up request to land mid-flight.
+        big = np.fromfunction(
+            lambda i, j, k: np.sin(i / 9) * np.cos(j / 7) + k / 48, (48, 48, 48)
+        ).astype(np.float32)
+        first_wave = [asyncio.create_task(batcher.submit(big, eb=1e-3)) for _ in range(2)]
+        await asyncio.sleep(0.05)  # well past the window: batch 1 is running
+        late = asyncio.create_task(batcher.submit(small_field, eb=1e-3))
+        # The late request must complete without any further submissions.
+        results = await asyncio.wait_for(asyncio.gather(*first_wave, late), timeout=60)
+        stats = batcher.stats()
+        await batcher.drain()
+        return results, stats
+
+    results, stats = asyncio.run(main())
+    assert len(results) == 3
+    assert all(r is not None for r in results)
+    assert stats["requests"] == 3
+    assert stats["batches"] >= 2  # the late request formed its own batch
+
+
+def test_failure_isolation_within_a_batch(small_field):
+    async def main():
+        batcher = MicroBatcher(window_ms=20, workers=1)
+        bad = np.zeros((4, 4), dtype=np.int32)  # unsupported dtype
+        good_task = asyncio.create_task(batcher.submit(small_field, eb=1e-3))
+        bad_task = asyncio.create_task(batcher.submit(bad, eb=1e-3))
+        good, bad_exc = await asyncio.gather(good_task, bad_task, return_exceptions=True)
+        await batcher.drain()
+        return good, bad_exc
+
+    good, bad_exc = asyncio.run(main())
+    assert good.shape == small_field.shape  # the good request was unaffected
+    assert isinstance(bad_exc, TypeError)
+
+
+def test_lpt_order_runs_largest_first(monkeypatch, small_field):
+    observed = []
+
+    import repro.server.batching as batching
+
+    real = batching._compress_one
+
+    def spy(job):
+        observed.append(job[0].size)
+        return real(job)
+
+    monkeypatch.setattr(batching, "_compress_one", spy)
+
+    async def main():
+        batcher = MicroBatcher(window_ms=30, workers=1)
+        big = np.fromfunction(
+            lambda i, j, k: np.sin(i / 9) + k / 32, (32, 32, 32)
+        ).astype(np.float32)
+        tasks = [
+            asyncio.create_task(batcher.submit(small_field, eb=1e-3)),
+            asyncio.create_task(batcher.submit(big, eb=1e-3)),
+        ]
+        await asyncio.gather(*tasks)
+        await batcher.drain()
+
+    asyncio.run(main())
+    assert observed == sorted(observed, reverse=True)  # largest first

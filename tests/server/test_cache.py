@@ -1,0 +1,133 @@
+"""ByteBudgetLRU in isolation: accounting, eviction order, disable, threads."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.server import ByteBudgetLRU
+
+
+class TestAccounting:
+    def test_used_bytes_tracks_inserts(self):
+        cache = ByteBudgetLRU(1000)
+        assert cache.put("a", b"x" * 100)
+        assert cache.put("b", b"y" * 250)
+        stats = cache.stats()
+        assert stats["used_bytes"] == 350
+        assert stats["entries"] == 2
+
+    def test_ndarray_sizes_use_nbytes(self):
+        cache = ByteBudgetLRU(10_000)
+        arr = np.zeros((10, 10), dtype=np.float32)
+        cache.put("field", arr)
+        assert cache.stats()["used_bytes"] == arr.nbytes
+
+    def test_explicit_nbytes_override(self):
+        cache = ByteBudgetLRU(1000)
+        cache.put("k", ("origin", "payload"), nbytes=640)
+        assert cache.stats()["used_bytes"] == 640
+
+    def test_refreshing_a_key_replaces_its_size(self):
+        cache = ByteBudgetLRU(1000)
+        cache.put("a", b"x" * 400)
+        cache.put("a", b"x" * 100)
+        stats = cache.stats()
+        assert stats["used_bytes"] == 100
+        assert stats["entries"] == 1
+
+    def test_invalidate_returns_bytes_to_budget(self):
+        cache = ByteBudgetLRU(1000)
+        cache.put("a", b"x" * 400)
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        stats = cache.stats()
+        assert stats["used_bytes"] == 0
+        assert stats["evictions"] == 0  # invalidation is not an eviction
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ByteBudgetLRU(-1)
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = ByteBudgetLRU(300)
+        cache.put("a", b"a" * 100)
+        cache.put("b", b"b" * 100)
+        cache.put("c", b"c" * 100)
+        assert cache.get("a") is not None  # refresh "a": now "b" is LRU
+        cache.put("d", b"d" * 100)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_one_insert_can_evict_many(self):
+        cache = ByteBudgetLRU(300)
+        for name in "abc":
+            cache.put(name, name.encode() * 100)
+        cache.put("big", b"x" * 300)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["evictions"] == 3
+        assert stats["used_bytes"] == 300
+
+    def test_oversized_value_is_rejected_not_cached(self):
+        cache = ByteBudgetLRU(100)
+        cache.put("small", b"s" * 80)
+        assert not cache.put("huge", b"x" * 101)
+        stats = cache.stats()
+        assert stats["rejected"] == 1
+        assert stats["evictions"] == 0
+        assert "small" in cache  # the resident entry survived
+
+    def test_hit_miss_counters(self):
+        cache = ByteBudgetLRU(100)
+        cache.put("a", b"x")
+        assert cache.get("a") is not None
+        assert cache.get("a") is not None
+        assert cache.get("zz") is None
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"]) == (2, 1)
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+
+
+class TestDisabled:
+    def test_zero_budget_disables_everything(self):
+        cache = ByteBudgetLRU(0)
+        assert not cache.enabled
+        assert not cache.put("a", b"x")
+        assert cache.get("a") is None
+        stats = cache.stats()
+        assert stats["entries"] == 0
+        assert stats["used_bytes"] == 0
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.0
+
+
+class TestConcurrency:
+    def test_hammering_from_threads_keeps_accounting_consistent(self):
+        cache = ByteBudgetLRU(64 * 40)  # room for ~40 of 100 distinct entries
+        errors = []
+
+        def worker(seed: int):
+            try:
+                for i in range(300):
+                    key = (seed * 7 + i) % 100
+                    if cache.get(key) is None:
+                        cache.put(key, bytes(64), nbytes=64)
+            except Exception as exc:  # noqa: BLE001 — fail the test, not the thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats["used_bytes"] == stats["entries"] * 64
+        assert stats["used_bytes"] <= cache.budget_bytes
+        assert stats["hits"] + stats["misses"] == 8 * 300

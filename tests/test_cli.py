@@ -250,6 +250,71 @@ class TestBatchArchive:
         assert "dir backend" in capsys.readouterr().out
 
 
+def _iter_subparsers(parser, prefix=""):
+    """Yield ``(command_path, subparser)`` for every registered subcommand,
+    recursing into nested subparser groups (``archive ls`` etc.)."""
+    for action in parser._actions:
+        if not hasattr(action, "choices") or not isinstance(action.choices, dict):
+            continue
+        for name, sub in action.choices.items():
+            yield f"{prefix}{name}", sub
+            yield from _iter_subparsers(sub, prefix=f"{prefix}{name} ")
+
+
+class TestHelpText:
+    """Guards against help drift: every subcommand documents itself and
+    points at the docs file covering it (the satellite contract)."""
+
+    def test_every_subcommand_has_help_and_docs_epilog(self):
+        from repro.cli import build_parser
+
+        commands = dict(_iter_subparsers(build_parser()))
+        assert {"compress", "decompress", "info", "bench", "batch", "archive",
+                "serve", "archive ls", "archive get", "archive verify"} <= set(commands)
+        for path, sub in commands.items():
+            assert sub.description and sub.description.strip(), f"{path}: empty description"
+            assert sub.epilog and "docs/" in sub.epilog, f"{path}: epilog must point at docs/"
+            # The named docs file must actually exist in the repo.
+            import os
+            import re
+
+            for doc in re.findall(r"docs/[A-Z_]+\.md", sub.epilog):
+                repo_root = os.path.join(os.path.dirname(__file__), "..")
+                assert os.path.exists(os.path.join(repo_root, doc)), f"{path}: {doc} missing"
+
+    def test_help_epilogs_render(self, capsys):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for args in (["compress"], ["serve"], ["archive", "get"]):
+            with pytest.raises(SystemExit) as exc:
+                parser.parse_args([*args, "--help"])
+            assert exc.value.code == 0
+            out = capsys.readouterr().out
+            assert "Documentation:" in out
+
+
+class TestServeCommand:
+    def test_serve_registered_with_flags(self):
+        from repro.cli import build_parser
+
+        sub = dict(_iter_subparsers(build_parser()))["serve"]
+        flags = {s for a in sub._actions for s in a.option_strings}
+        assert {"--host", "--port", "--cache-bytes", "--workers"} <= flags
+
+    def test_serve_bad_bind_is_clean_error(self, tmp_path, capsys):
+        # Grab a port first; serving on it must exit 2 + stderr, no traceback.
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            sock.listen(1)
+            taken = sock.getsockname()[1]
+            rc = main(["serve", str(tmp_path), "--port", str(taken)])
+        assert rc == 2
+        assert "cannot serve" in capsys.readouterr().err
+
+
 class TestTiledFlags:
     def test_tiles_roundtrip(self, raw_field, tmp_path, capsys):
         path, data = raw_field

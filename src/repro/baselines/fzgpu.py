@@ -69,7 +69,9 @@ class FzGpu:
 
     def decompress(self, blob: CompressedBlob) -> np.ndarray:
         trace = KernelTrace()
-        shuffled = self._rze.decode(blob.segments["codes"])
+        # Component codecs slice/concatenate bytes; zero-copy container
+        # segments arrive as memoryviews, so normalize at the boundary.
+        shuffled = self._rze.decode(bytes(blob.segments["codes"]))
         raw = self._bit.decode(shuffled)
         trace.launch("dedup+unshuffle", len(blob.segments["codes"]) + len(shuffled), len(raw), efficiency_class="shuffle")
         codes = np.frombuffer(raw, dtype=np.uint16)

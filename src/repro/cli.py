@@ -115,6 +115,10 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.diff is not None:
+        return _cmd_bench_diff(args)
+    if args.pipeline or args.smoke:
+        return _cmd_bench_pipeline(args)
     from .analysis.harness import EVAL_ORDER, run_case
     from .analysis.tables import format_table
     from .datasets.registry import load
@@ -126,6 +130,50 @@ def _cmd_bench(args) -> int:
         rows.append([name, f"{r.cr:.1f}", f"{r.bitrate:.3f}", f"{r.psnr:.1f}", f"{r.max_err:.3g}"])
     print(format_table(["compressor", "CR", "bitrate", "PSNR", "max|err|"], rows,
                        title=f"dataset={args.dataset} eb={args.eb}"))
+    return 0
+
+
+def _cmd_bench_pipeline(args) -> int:
+    from .bench import format_report, run_pipeline_bench, write_report
+
+    report = run_pipeline_bench(smoke=args.smoke, label=args.label, repeats=args.repeats)
+    try:
+        write_report(report, args.output)
+    except OSError as exc:
+        return _fail(f"cannot write report {args.output}: {exc.strerror or exc}")
+    print(format_report(report))
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    from .bench import diff_reports, load_report
+
+    old_path, new_path = args.diff
+    try:
+        old, new = load_report(old_path), load_report(new_path)
+    except (OSError, ValueError) as exc:  # JSONDecodeError is a ValueError
+        return _fail(str(exc))
+    result = diff_reports(old, new, threshold=args.threshold, min_wall=args.min_wall)
+    for line in result["improvements"]:
+        print(f"improved:  {line}")
+    for line in result["skipped"]:
+        print(f"skipped:   {line}")
+    for line in result["digest_changes"]:
+        print(f"DIGEST:    {line}")
+    for line in result["missing"]:
+        print(f"MISSING:   {line}", file=sys.stderr)
+    for line in result["regressions"]:
+        print(f"REGRESSED: {line}", file=sys.stderr)
+    if result["regressions"] or result["missing"]:
+        print(
+            f"{len(result['regressions'])} regression(s) beyond the "
+            f"{args.threshold:.0%} threshold, {len(result['missing'])} unmatched "
+            f"case(s) ({old_path} -> {new_path})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"no regressions beyond {args.threshold:.0%} ({old_path} -> {new_path})")
     return 0
 
 
@@ -351,12 +399,55 @@ def build_parser() -> argparse.ArgumentParser:
     pb = _add_command(
         sub,
         "bench",
-        "quick CR/PSNR table on a synthetic dataset",
-        "docs/API.md (analysis harness)",
+        "benchmark: CR/PSNR table, or the pinned pipeline perf matrix",
+        "docs/PERFORMANCE.md (pipeline bench, report schema, diffing) and docs/API.md",
     )
     pb.add_argument("--dataset", default="nyx")
     pb.add_argument("--eb", type=float, default=1e-3)
     pb.add_argument("--seed", type=int, default=0)
+    pb.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="run the pinned 1D/2D/3D pipeline matrix and write a JSON perf report",
+    )
+    pb.add_argument(
+        "--smoke",
+        action="store_true",
+        help="pipeline matrix on small shapes (CI-sized; implies --pipeline)",
+    )
+    pb.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_pipeline.json",
+        help="where --pipeline/--smoke write the JSON report",
+    )
+    pb.add_argument("--label", default=None, help="free-form label stored in the report")
+    pb.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="repeats per case; per-stage minimum wall time is reported (default 3)",
+    )
+    pb.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        default=None,
+        help="compare two pipeline reports; exit 1 on wall-time regressions",
+    )
+    pb.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative wall-time regression threshold for --diff (default 0.25)",
+    )
+    pb.add_argument(
+        "--min-wall",
+        type=float,
+        default=0.02,
+        help="skip --diff timing checks when the baseline stage wall is below"
+        " this many seconds (millisecond walls measure the scheduler)",
+    )
     pb.set_defaults(func=_cmd_bench)
 
     pba = _add_command(

@@ -59,12 +59,22 @@ def resolve_error_bound(data: np.ndarray, eb: float, eb_mode: str) -> float:
         raise ValueError("error bound must be positive")
     if eb_mode == "abs":
         return float(eb)
-    finite = data[np.isfinite(data)]
-    if finite.size == 0:
-        return float(eb)
-    rng = float(finite.max()) - float(finite.min())
+    # Fast path: plain min/max propagate NaN/Inf, so a finite result proves
+    # the whole field is finite without the isfinite mask + gather pass.
+    if data.size:
+        mx = float(np.max(data))
+        mn = float(np.min(data))
+    else:
+        mx = mn = float("nan")
+    if not (np.isfinite(mx) and np.isfinite(mn)):
+        finite = data[np.isfinite(data)]
+        if finite.size == 0:
+            return float(eb)
+        mx = float(finite.max())
+        mn = float(finite.min())
+    rng = mx - mn
     if rng == 0.0:
-        rng = max(abs(float(finite.max())), 1.0) * np.finfo(np.float32).eps
+        rng = max(abs(mx), 1.0) * np.finfo(np.float32).eps
     return float(eb) * rng
 
 
@@ -117,6 +127,12 @@ class CuszHi:
         self.config = config
         self.last_comp_trace: KernelTrace | None = None
         self.last_decomp_trace: KernelTrace | None = None
+        #: opt-in: when True, untiled compresses keep their reconstruction
+        #: in :attr:`last_recon` (bit-identical to decompressing the blob),
+        #: so streaming/temporal consumers skip a full decode round-trip.
+        #: Off by default — a pinned full-field recon is real memory.
+        self.retain_recon = False
+        self.last_recon: np.ndarray | None = None
 
     # ----------------------------------------------------------- identity
     @property
@@ -145,6 +161,7 @@ class CuszHi:
             engine = TiledEngine(config=cfg)
             frame = engine.compress(data, eb)
             self.last_comp_trace = engine.last_comp_trace
+            self.last_recon = None  # per-tile recons are not assembled here
             return frame
         abs_eb = resolve_error_bound(data, eb, cfg.eb_mode)
         trace = KernelTrace()
@@ -162,6 +179,7 @@ class CuszHi:
 
         predictor = InterpolationPredictor(cfg.anchor_stride)
         res = predictor.compress(data, abs_eb, level_cfgs)
+        self.last_recon = res.recon if self.retain_recon else None
         self._interp_kernels(trace, data.shape, data.itemsize, level_cfgs, cfg.anchor_stride)
 
         if cfg.reorder:

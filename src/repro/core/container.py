@@ -7,6 +7,16 @@ what makes the compression *ratio* measurable honestly — ``blob.nbytes``
 counts every byte a real file would contain, including headers and per-segment
 CRCs, so none of the bookkeeping is hidden from the evaluation.
 
+Zero-copy discipline: segments are *bytes-like* (``bytes`` or read-only
+``memoryview``), never forced through a serialization round-trip.
+:meth:`CompressedBlob.put_array` stores a read-only view over the array's own
+buffer, :meth:`CompressedBlob.from_bytes` keeps per-segment views into the
+input buffer (which therefore stays alive and, for mutable inputs like
+``bytearray``, is *aliased* — mutate it and the blob sees the change), and
+``nbytes``/``segment_sizes`` are computed arithmetically from the wire layout
+without serializing anything.  The single full copy on the write path is the
+final ``to_bytes`` join.
+
 Wire layout (little-endian)::
 
     magic   4s   = b"RPZH"
@@ -97,8 +107,19 @@ class CompressedBlob:
 
     @property
     def nbytes(self) -> int:
-        """Full serialized size in bytes (the denominator of the CR)."""
-        return len(self.to_bytes())
+        """Full serialized size in bytes (the denominator of the CR).
+
+        Computed arithmetically from the wire layout — no serialization
+        happens here (``tests/core`` holds a spy asserting ``to_bytes`` is
+        never called), so sizing a blob is O(#segments), not O(payload).
+        """
+        n = len(_MAGIC) + struct.calcsize("<HHBBHd") + 8 * len(self.shape)
+        n += struct.calcsize("<HH")
+        for k, v in self.meta.items():
+            n += 2 + len(k.encode()) + 4 + len(v.encode())
+        for name, payload in self.segments.items():
+            n += 2 + len(name.encode()) + struct.calcsize("<QI") + len(payload)
+        return n
 
     @property
     def compression_ratio(self) -> float:
@@ -116,11 +137,18 @@ class CompressedBlob:
     # ------------------------------------------------------------- array part
     def put_array(self, name: str, arr: np.ndarray) -> None:
         """Store an array segment; dtype/shape recorded in the segment name
-        metadata so :meth:`get_array` can reconstruct it."""
+        metadata so :meth:`get_array` can reconstruct it.
+
+        Zero-copy: the segment is a read-only view over the array's own
+        buffer, so the blob *aliases* ``arr`` — callers hand over ownership
+        and must not mutate the array afterwards (the compressors all store
+        freshly produced arrays here).  Non-contiguous input is the one case
+        that still copies.
+        """
         arr = np.ascontiguousarray(arr)
         self.meta[f"__seg_dtype_{name}"] = arr.dtype.str
         self.meta[f"__seg_shape_{name}"] = ",".join(str(d) for d in arr.shape)
-        self.segments[name] = arr.tobytes()
+        self.segments[name] = memoryview(arr).toreadonly().cast("B")
 
     def get_array(self, name: str) -> np.ndarray:
         dt = np.dtype(self.meta[f"__seg_dtype_{name}"])
@@ -130,34 +158,52 @@ class CompressedBlob:
 
     # ---------------------------------------------------------- serialization
     def to_bytes(self) -> bytes:
-        out = bytearray()
-        out += _MAGIC
-        out += struct.pack(
-            "<HHBBHd",
-            _VERSION,
-            self.codec,
-            len(self.shape),
-            _DTYPES[np.dtype(self.dtype)],
-            self.flags,
-            float(self.error_bound),
-        )
+        """Serialize to the wire layout (the single copy of the write path).
+
+        Pieces are collected and joined once; bytes-like segments (including
+        the read-only memoryviews of :meth:`put_array`/:meth:`from_bytes`)
+        are consumed in place without intermediate materialization.
+        """
+        parts = [
+            _MAGIC,
+            struct.pack(
+                "<HHBBHd",
+                _VERSION,
+                self.codec,
+                len(self.shape),
+                _DTYPES[np.dtype(self.dtype)],
+                self.flags,
+                float(self.error_bound),
+            ),
+        ]
         for d in self.shape:
-            out += struct.pack("<Q", int(d))
-        out += struct.pack("<HH", len(self.meta), len(self.segments))
+            parts.append(struct.pack("<Q", int(d)))
+        parts.append(struct.pack("<HH", len(self.meta), len(self.segments)))
         for k, v in self.meta.items():
             kb, vb = k.encode(), v.encode()
-            out += struct.pack("<H", len(kb)) + kb
-            out += struct.pack("<I", len(vb)) + vb
+            parts.append(struct.pack("<H", len(kb)))
+            parts.append(kb)
+            parts.append(struct.pack("<I", len(vb)))
+            parts.append(vb)
         for name, payload in self.segments.items():
             nb = name.encode()
-            out += struct.pack("<H", len(nb)) + nb
-            out += struct.pack("<QI", len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
-            out += payload
-        return bytes(out)
+            parts.append(struct.pack("<H", len(nb)))
+            parts.append(nb)
+            parts.append(struct.pack("<QI", len(payload), zlib.crc32(payload) & 0xFFFFFFFF))
+            parts.append(payload)
+        return b"".join(parts)
 
     @classmethod
-    def from_bytes(cls, buf: bytes) -> "CompressedBlob":
-        view = memoryview(buf)
+    def from_bytes(cls, buf) -> "CompressedBlob":
+        """Parse a serialized container from any bytes-like object.
+
+        Zero-copy: segment payloads are read-only memoryview slices into
+        ``buf`` (which stays referenced for the blob's lifetime).  Passing a
+        mutable buffer (``bytearray``) therefore aliases it — mutations after
+        parsing are visible through the blob's segments.  CRCs are verified
+        during the parse either way.
+        """
+        view = memoryview(buf).toreadonly().cast("B")
         if len(view) < 4 or bytes(view[:4]) != _MAGIC:
             raise ContainerError("bad magic — not a repro compressed stream")
 
@@ -201,7 +247,13 @@ class CompressedBlob:
             nraw, off = take(off, namelen, "segment name")
             name = decode(nraw, "segment name")
             (plen, crc), off = unpack("<QI", off, f"segment {name!r} header")
-            payload, off = take(off, plen, f"segment {name!r} payload")
+            # Zero-copy: bounds-checked view slice, no bytes() materialization.
+            if plen < 0 or off + plen > len(view):
+                raise ContainerError(
+                    f"truncated container: segment {name!r} payload extends past end of data"
+                )
+            payload = view[off : off + plen]
+            off += plen
             if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
                 raise ContainerError(f"CRC mismatch in segment {name!r}")
             segments[name] = payload
@@ -256,7 +308,6 @@ def pack_tiled(
     ndim = len(shape)
     index = np.zeros((len(tiles), 2 * ndim + 2), dtype=np.int64)
     offset = 0
-    body = bytearray()
     for row, ((origin, tshape), payload) in enumerate(zip(tiles, payloads)):
         if len(origin) != ndim or len(tshape) != ndim:
             raise ValueError("tile rank does not match frame rank")
@@ -264,7 +315,6 @@ def pack_tiled(
         index[row, ndim : 2 * ndim] = tshape
         index[row, 2 * ndim] = offset
         index[row, 2 * ndim + 1] = len(payload)
-        body += payload
         offset += len(payload)
     frame = CompressedBlob(
         codec=codec,
@@ -276,7 +326,9 @@ def pack_tiled(
     )
     frame.meta["n_tiles"] = str(len(tiles))
     frame.put_array("tile_index", index)
-    frame.segments["tiles"] = bytes(body)
+    # Offsets were accumulated arithmetically above; one join materializes
+    # the body instead of quadratic-ish bytearray growth over the payloads.
+    frame.segments["tiles"] = b"".join(payloads)
     return frame
 
 

@@ -113,6 +113,10 @@ class StreamWriter:
                     raise TypeError("tiled frames require a cuSZ-Hi compressor")
                 compressor = CuszHi(config=compressor.config.with_(**tiling_kwargs))
         self.compressor = compressor
+        # Temporal mode reads the compressor's in-band reconstruction (see
+        # append); CuszHi keeps it only on request.
+        if temporal and isinstance(compressor, CuszHi):
+            compressor.retain_recon = True
         self.eb = eb
         self._abs_eb: float | None = None
         self.temporal = temporal
@@ -144,7 +148,16 @@ class StreamWriter:
         self.bytes_written += 5 + len(payload)
         self.raw_bytes += snapshot.nbytes
         if self.temporal:
-            delta_recon = self.compressor.decompress(blob)
+            # The compressor's in-band reconstruction is bit-identical to
+            # decompressing the blob it just produced (decompression replays
+            # the same pass sequence), so reuse it instead of paying a full
+            # decode per appended frame.  Compressors without the attribute
+            # (baselines, tiled engines) fall back to the decode round-trip.
+            delta_recon = getattr(self.compressor, "last_recon", None)
+            if delta_recon is None:
+                delta_recon = self.compressor.decompress(blob)
+            else:
+                self.compressor.last_recon = None  # consumed; release the field
             if flags & _FLAG_DELTA:
                 self._prev_recon = self._prev_recon + delta_recon
             else:

@@ -48,6 +48,7 @@ __all__ = [
     "TiledEngine",
     "EXECUTORS",
     "resolve_workers",
+    "runs_serially",
     "map_tiles",
 ]
 
@@ -193,6 +194,16 @@ class TileGrid:
 # --------------------------------------------------------------------------
 
 
+def runs_serially(executor: str, workers: int, n_jobs: int) -> bool:
+    """Whether :func:`map_tiles` will run these jobs on the caller's thread.
+
+    Exported so callers preparing job payloads (e.g. bytes-vs-memoryview
+    decisions for process pickling) share the exact dispatch predicate
+    instead of duplicating it.
+    """
+    return executor == "serial" or workers <= 1 or n_jobs <= 1
+
+
 def map_tiles(fn, jobs, executor: str, workers: int, return_exceptions: bool = False,
               on_result=None):
     """Run ``fn`` over ``jobs`` with the selected executor, preserving order.
@@ -222,7 +233,7 @@ def map_tiles(fn, jobs, executor: str, workers: int, return_exceptions: bool = F
         except Exception as exc:  # noqa: BLE001 — isolation boundary
             return exc
 
-    if executor == "serial" or workers <= 1 or len(jobs) <= 1:
+    if runs_serially(executor, workers, len(jobs)):
         if on_result is None:
             return [_call(job) for job in jobs]
         for i, job in enumerate(jobs):
@@ -353,6 +364,10 @@ class TiledEngine:
         for i in range(n):
             origin, tshape, payload = unpack_tile(blob, i)
             entries.append((origin, tshape))
+            # Tile payloads are zero-copy memoryviews into the frame; only
+            # the process executor needs picklable bytes copies.
+            if executor == "processes" and not runs_serially(executor, workers, n):
+                payload = bytes(payload)
             jobs.append((i, payload))
         results = map_tiles(_decompress_tile_job, jobs, executor, workers)
         results.sort(key=lambda r: r[0])

@@ -26,17 +26,52 @@ import struct
 
 import numpy as np
 
-__all__ = ["RansCodec", "normalize_frequencies"]
+from ..core.cache import CountedTableCache
+
+__all__ = ["RansCodec", "normalize_frequencies", "table_cache_stats", "reset_table_cache"]
 
 PROB_BITS = 12
 PROB_SCALE = 1 << PROB_BITS
 RANS_L = np.uint32(1 << 23)
 
+#: memoized coding tables, mirroring the Huffman table cache: normalization
+#: is a Python settle loop and the decode slot table is a 4096-element
+#: expansion — both pure functions of the histogram bytes, so repeated
+#: fields in a batch or server micro-batch skip them.  Counters feed the
+#: server's GET /stats; key tuples carry a kind tag.
+_TABLES = CountedTableCache(capacity=256)
+
+
+def table_cache_stats() -> dict:
+    """Hit/miss counters of the memoized rANS tables (see GET /stats)."""
+    return _TABLES.stats()
+
+
+def reset_table_cache() -> None:
+    """Drop all memoized tables and zero the counters (test isolation)."""
+    _TABLES.clear()
+
+
+def _readonly(arr: np.ndarray) -> np.ndarray:
+    arr.flags.writeable = False
+    return arr
+
 
 def normalize_frequencies(counts: np.ndarray, scale: int = PROB_SCALE) -> np.ndarray:
     """Scale a histogram to sum exactly to ``scale`` with every present symbol
-    keeping a nonzero slot (the rANS invariant)."""
+    keeping a nonzero slot (the rANS invariant).
+
+    Memoized by histogram digest; returns a shared read-only array.
+    """
     counts = np.asarray(counts, dtype=np.int64)
+    key = ("norm", counts.tobytes(), int(scale))
+    cached = _TABLES.lookup(key)
+    if cached is not None:
+        return cached
+    return _TABLES.store(key, _readonly(_normalize_uncached(counts, scale)))
+
+
+def _normalize_uncached(counts: np.ndarray, scale: int) -> np.ndarray:
     total = int(counts.sum())
     if total == 0:
         raise ValueError("cannot normalize an empty histogram")
@@ -132,6 +167,18 @@ class RansCodec:
             + payload.tobytes()
         )
 
+    @staticmethod
+    def _decode_tables(freqs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """CDF + slot->symbol lookup for one frequency table (memoized)."""
+        key = ("decode", np.ascontiguousarray(freqs).tobytes())
+        cached = _TABLES.lookup(key)
+        if cached is not None:
+            return cached
+        cdf = np.zeros(257, dtype=np.uint32)
+        np.cumsum(freqs, out=cdf[1:])
+        slot2sym = np.repeat(np.arange(256, dtype=np.uint8), freqs.astype(np.int64))
+        return _TABLES.store(key, (_readonly(cdf), _readonly(slot2sym)))
+
     # ------------------------------------------------------------------ dec
     def decode(self, buf: bytes) -> bytes:
         n, chunk_size = struct.unpack_from("<QI", buf, 0)
@@ -147,10 +194,7 @@ class RansCodec:
         off += 8 * nchunks
         payload = np.frombuffer(buf, dtype=np.uint8, offset=off)
 
-        cdf = np.zeros(257, dtype=np.uint32)
-        np.cumsum(freqs, out=cdf[1:])
-        # Slot -> symbol lookup (4096 entries).
-        slot2sym = np.repeat(np.arange(256, dtype=np.uint8), freqs.astype(np.int64))
+        cdf, slot2sym = self._decode_tables(freqs)
 
         counts_per_chunk = np.full(nchunks, chunk_size, dtype=np.int64)
         counts_per_chunk[-1] = n - (nchunks - 1) * chunk_size

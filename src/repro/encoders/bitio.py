@@ -19,6 +19,7 @@ __all__ = [
     "pack_bitfields",
     "unpack_bitfields",
     "extract_bit_windows",
+    "pad_stream_for_windows",
     "bits_to_bytes",
     "bytes_to_bits",
     "popcount_bytes",
@@ -39,7 +40,9 @@ def bytes_to_bits(buf: bytes | np.ndarray, nbits: int) -> np.ndarray:
     return bits
 
 
-def pack_bitfields(values: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
+def pack_bitfields(
+    values: np.ndarray, lengths: np.ndarray, starts: np.ndarray | None = None
+) -> tuple[bytes, int]:
     """Concatenate variable-length bitfields into a packed bitstream.
 
     ``values[i]`` holds the field in its low ``lengths[i]`` bits; fields are
@@ -48,32 +51,81 @@ def pack_bitfields(values: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]
     ``max(lengths)`` iterations, each fully vectorized), mirroring how the GPU
     kernel assigns one thread per symbol and scatters by precomputed offsets.
 
+    ``starts`` may pass in the exclusive prefix sum of ``lengths`` when the
+    caller already computed it (the Huffman encoder reuses it for its chunk
+    offset table, so the 16M-element cumsum runs once, not twice).
+
+    Unsigned ``values`` dtypes are honored rather than upcast: the Huffman
+    encoder gathers 16-bit codes and 8-bit lengths, so the full-size plane-0
+    temporaries shrink 4-8x versus a blanket uint64 promotion (the emitted
+    bits are dtype-independent).
+
+    The plane loop iterates over a *shrinking index set*: entropy-coded
+    streams are dominated by short codes, so after the first plane only a
+    small fraction of fields is still active — re-deriving the active set
+    from the previous plane's indices touches just those survivors instead
+    of boolean-scanning the full array ``max(lengths)`` times.
+
     Returns ``(packed_bytes, total_bits)``.
     """
-    values = np.asarray(values, dtype=np.uint64)
-    lengths = np.asarray(lengths, dtype=np.int64)
+    values = np.asarray(values)
+    if values.dtype.kind != "u":
+        values = values.astype(np.uint64)
+    lengths = np.asarray(lengths)
+    if lengths.dtype.kind not in ("u", "i"):
+        lengths = lengths.astype(np.int64)
     if values.shape != lengths.shape:
         raise ValueError("values and lengths must have identical shapes")
     if values.size == 0:
         return b"", 0
-    if lengths.min() < 0 or lengths.max() > 64:
+    lmin = int(lengths.min())
+    if lmin < 0 or int(lengths.max()) > 64:
         raise ValueError("bitfield lengths must be in [0, 64]")
-    total = int(lengths.sum())
-    # Exclusive prefix sum of lengths = start bit offset of each field.
-    starts = np.zeros(lengths.size, dtype=np.int64)
-    np.cumsum(lengths[:-1], out=starts[1:])
-    bits = np.zeros(total, dtype=np.uint8)
+    total = int(lengths.sum(dtype=np.int64))
+    if starts is None:
+        # Exclusive prefix sum of lengths = start bit offset of each field.
+        starts = np.zeros(lengths.size, dtype=np.int64)
+        np.cumsum(lengths[:-1], dtype=np.int64, out=starts[1:])
+    # Every bit position belongs to exactly one (field, plane) pair and the
+    # per-field ranges tile [0, total) exactly, so the scatters below write
+    # every element: np.empty is safe and skips a full zero fill.
+    bits = np.empty(total, dtype=np.uint8)
     maxlen = int(lengths.max())
+    # None = every field is active (all-nonzero lengths let plane 0 skip the
+    # index set entirely); zero-length fields must never reach the scatter.
+    idx: np.ndarray | None = None if lmin >= 1 else np.flatnonzero(lengths > 0)
     for plane in range(maxlen):
-        # Fields long enough to own a bit at position `plane` (from the MSB of
-        # the field): bit value is (v >> (len-1-plane)) & 1.
-        active = lengths > plane
-        if not active.any():
-            break
-        shift = (lengths[active] - 1 - plane).astype(np.uint64)
-        bitvals = ((values[active] >> shift) & np.uint64(1)).astype(np.uint8)
-        bits[starts[active] + plane] = bitvals
+        if idx is None:
+            # Shift/mask computed in the lengths' own (small) dtype: plane 0
+            # — the only full-size plane — costs one temporary.
+            shift = _shift_operand(lengths - 1 - plane, values)
+            bitval = values >> shift
+            np.bitwise_and(bitval, 1, out=bitval)
+            bits[starts if plane == 0 else starts + plane] = bitval
+            idx = np.flatnonzero(lengths > plane + 1)
+        else:
+            if idx.size == 0:
+                break
+            sub_len = lengths[idx]
+            shift = _shift_operand(sub_len - 1 - plane, values)
+            bitval = values[idx] >> shift
+            np.bitwise_and(bitval, 1, out=bitval)
+            pos = starts[idx]
+            pos += plane
+            bits[pos] = bitval
+            idx = idx[sub_len > plane + 1]
     return bits_to_bytes(bits), total
+
+
+def _shift_operand(shift: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Make a non-negative shift array type-compatible with ``values``.
+
+    uint64 values mixed with signed shifts would promote to float64 and
+    break ``>>``; everywhere else NumPy's integer promotion just works.
+    """
+    if values.dtype == np.uint64 and shift.dtype.kind == "i":
+        return shift.view(np.uint64) if shift.dtype == np.int64 else shift.astype(np.uint64)
+    return shift
 
 
 def unpack_bitfields(buf: bytes, lengths: np.ndarray) -> np.ndarray:
@@ -95,7 +147,26 @@ def unpack_bitfields(buf: bytes, lengths: np.ndarray) -> np.ndarray:
     return out
 
 
-def extract_bit_windows(stream: np.ndarray, bit_offsets: np.ndarray, width: int) -> np.ndarray:
+def pad_stream_for_windows(stream: np.ndarray | bytes) -> np.ndarray:
+    """Zero-pad a packed byte stream for :func:`extract_bit_windows`.
+
+    Callers that extract windows repeatedly (the chunk-parallel Huffman
+    decoder peeks once per decoded symbol) pad once up front and pass
+    ``prepadded=True``, instead of paying a full-stream copy per call.
+    """
+    stream = (
+        np.frombuffer(stream, dtype=np.uint8)
+        if isinstance(stream, (bytes, bytearray, memoryview))
+        else np.asarray(stream, dtype=np.uint8)
+    )
+    padded = np.zeros(stream.size + 4, dtype=np.uint8)
+    padded[: stream.size] = stream
+    return padded
+
+
+def extract_bit_windows(
+    stream: np.ndarray, bit_offsets: np.ndarray, width: int, prepadded: bool = False
+) -> np.ndarray:
     """Read a ``width``-bit big-endian window at each ``bit_offsets`` position.
 
     ``stream`` is the packed byte array; windows may start at any bit.  Used by
@@ -104,18 +175,22 @@ def extract_bit_windows(stream: np.ndarray, bit_offsets: np.ndarray, width: int)
     end of the stream are zero-padded on the right, as the decoder only ever
     consumes the valid prefix.
 
+    With ``prepadded=True`` the caller asserts ``stream`` already came from
+    :func:`pad_stream_for_windows` (4 trailing zero bytes), skipping the
+    defensive copy — the difference between O(stream) and O(windows) per call.
+
     Returns ``uint32`` windows (``width`` must be <= 24 so that any bit-aligned
     window fits in 4 consecutive bytes).
     """
     if width <= 0 or width > 24:
         raise ValueError("window width must be in [1, 24]")
-    stream = np.asarray(stream, dtype=np.uint8)
     offs = np.asarray(bit_offsets, dtype=np.int64)
+    if prepadded:
+        padded = np.asarray(stream, dtype=np.uint8)
+    else:
+        padded = pad_stream_for_windows(stream)
     byte_idx = offs >> 3
     bit_in_byte = (offs & 7).astype(np.uint32)
-    # Gather 4 bytes with zero padding beyond the end.
-    padded = np.zeros(stream.size + 4, dtype=np.uint8)
-    padded[: stream.size] = stream
     b0 = padded[byte_idx].astype(np.uint32)
     b1 = padded[byte_idx + 1].astype(np.uint32)
     b2 = padded[byte_idx + 2].astype(np.uint32)

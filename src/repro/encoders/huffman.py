@@ -30,12 +30,53 @@ import struct
 
 import numpy as np
 
-from .bitio import extract_bit_windows, pack_bitfields
+from ..core.cache import CountedTableCache
+from .bitio import extract_bit_windows, pack_bitfields, pad_stream_for_windows
 
-__all__ = ["HuffmanCodec", "code_lengths_from_frequencies", "canonical_codes"]
+__all__ = [
+    "HuffmanCodec",
+    "code_lengths_from_frequencies",
+    "canonical_codes",
+    "table_cache_stats",
+    "reset_table_cache",
+]
 
 MAX_CODE_LEN = 16
 DEFAULT_CHUNK = 4096
+
+
+# --------------------------------------------------------------------------
+# Memoized table construction.
+#
+# Building the tree, canonical codes and the flat decode LUT is pure Python
+# over 256 symbols — trivial against one 16M-point field, but the server's
+# micro-batcher and the batch runner push *many* fields with recurring
+# histograms (tiles of one field, timesteps of one variable), where table
+# construction becomes a fixed per-call tax.  All three derivations are pure
+# functions of their byte-level inputs, so they memoize by digest: frequency
+# tables by the histogram bytes, code/LUT tables by the length-table bytes.
+# Counters are exposed (``table_cache_stats``) and surfaced by the server's
+# GET /stats so cache behaviour is observable from the outside.
+# --------------------------------------------------------------------------
+
+#: one shared table cache — key tuples carry a kind tag, so length tables,
+#: canonical codes and decode LUTs coexist without colliding
+_TABLES = CountedTableCache(capacity=256)
+
+
+def table_cache_stats() -> dict:
+    """Hit/miss counters of the memoized Huffman tables (see GET /stats)."""
+    return _TABLES.stats()
+
+
+def reset_table_cache() -> None:
+    """Drop all memoized tables and zero the counters (test isolation)."""
+    _TABLES.clear()
+
+
+def _readonly(arr: np.ndarray) -> np.ndarray:
+    arr.flags.writeable = False
+    return arr
 
 
 def code_lengths_from_frequencies(freq: np.ndarray, max_len: int = MAX_CODE_LEN) -> np.ndarray:
@@ -44,9 +85,18 @@ def code_lengths_from_frequencies(freq: np.ndarray, max_len: int = MAX_CODE_LEN)
     Builds the Huffman tree with a heap, then applies the classic Kraft-sum
     rebalancing when any code exceeds ``max_len`` (demote overlong codes to
     ``max_len``, then lengthen the cheapest shorter codes until the Kraft sum
-    returns to 1).
+    returns to 1).  Results are memoized by histogram digest (read-only
+    arrays); identical histograms skip the tree entirely.
     """
     freq = np.asarray(freq, dtype=np.int64)
+    key = ("lengths", freq.tobytes(), int(max_len))
+    cached = _TABLES.lookup(key)
+    if cached is not None:
+        return cached
+    return _TABLES.store(key, _readonly(_code_lengths_uncached(freq, max_len)))
+
+
+def _code_lengths_uncached(freq: np.ndarray, max_len: int) -> np.ndarray:
     symbols = np.flatnonzero(freq)
     lengths = np.zeros(freq.size, dtype=np.uint8)
     if symbols.size == 0:
@@ -87,8 +137,19 @@ def code_lengths_from_frequencies(freq: np.ndarray, max_len: int = MAX_CODE_LEN)
 
 
 def canonical_codes(lengths: np.ndarray) -> np.ndarray:
-    """Canonical code values for the given lengths (sorted by length, symbol)."""
+    """Canonical code values for the given lengths (sorted by length, symbol).
+
+    Memoized by the length-table bytes; returns a shared read-only array.
+    """
     lengths = np.asarray(lengths, dtype=np.uint8)
+    key = ("codes", lengths.tobytes())
+    cached = _TABLES.lookup(key)
+    if cached is not None:
+        return cached
+    return _TABLES.store(key, _readonly(_canonical_codes_uncached(lengths)))
+
+
+def _canonical_codes_uncached(lengths: np.ndarray) -> np.ndarray:
     codes = np.zeros(lengths.size, dtype=np.uint64)
     order = np.lexsort((np.arange(lengths.size), lengths))
     order = order[lengths[order] > 0]
@@ -118,19 +179,24 @@ class HuffmanCodec:
     def encode(self, buf: bytes) -> bytes:
         arr = np.frombuffer(buf, dtype=np.uint8)
         n = arr.size
-        header = struct.pack("<QIQ", n, self.chunk_size, 0)
         if n == 0:
             return struct.pack("<QIQ", 0, self.chunk_size, 0) + bytes(256)
         freq = np.bincount(arr, minlength=256)
         lengths = code_lengths_from_frequencies(freq, self.max_len)
         codes = canonical_codes(lengths)
-        sym_codes = codes[arr]
-        sym_lens = lengths[arr].astype(np.int64)
-        payload, nbits = pack_bitfields(sym_codes, sym_lens)
+        # Gather through the narrowest tables that fit (codes are at most
+        # max_len <= 24 bits, lengths one byte): the full-stream temporaries
+        # shrink 4-8x versus gathering uint64/int64.
+        code_table = codes.astype(np.uint16 if self.max_len <= 16 else np.uint32)
+        sym_codes = code_table[arr]
+        sym_lens = lengths[arr]
+        # One exclusive prefix sum serves both the bit packer and the
+        # per-chunk offset table (it is the single largest temporary here).
+        starts = np.zeros(n, dtype=np.int64)
+        np.cumsum(sym_lens[:-1], dtype=np.int64, out=starts[1:])
+        payload, nbits = pack_bitfields(sym_codes, sym_lens, starts=starts)
         nchunks = (n + self.chunk_size - 1) // self.chunk_size
         if nchunks > 1:
-            starts = np.zeros(n, dtype=np.int64)
-            np.cumsum(sym_lens[:-1], out=starts[1:])
             offsets = starts[self.chunk_size :: self.chunk_size].astype(np.uint64)
         else:
             offsets = np.zeros(0, dtype=np.uint64)
@@ -157,10 +223,13 @@ class HuffmanCodec:
         pos[1:] = offsets64.astype(np.int64)
         out = np.zeros((nchunks, chunk_size), dtype=np.uint8)
         total_bits = int(nbits)
+        # Pad the payload once: the window peek runs per decoded symbol, and
+        # the defensive per-call copy used to dominate the whole decode.
+        padded = pad_stream_for_windows(payload)
         # One symbol per chunk per iteration; lanes that run past their chunk
         # decode harmless padding which is sliced away below.
         for it in range(min(chunk_size, n)):
-            win = extract_bit_windows(payload, pos, L)
+            win = extract_bit_windows(padded, pos, L, prepadded=True)
             out[:, it] = lut_sym[win]
             pos += lut_len[win]
             np.minimum(pos, total_bits, out=pos)
@@ -168,7 +237,16 @@ class HuffmanCodec:
 
     @staticmethod
     def _build_lut(lengths: np.ndarray, L: int) -> tuple[np.ndarray, np.ndarray]:
-        """Flat 2^L decode table: every L-bit window -> (symbol, code length)."""
+        """Flat 2^L decode table: every L-bit window -> (symbol, code length).
+
+        Memoized by ``(length-table bytes, L)`` — repeated decodes of streams
+        sharing one code table (tiles, timesteps) skip the 2^L fill.
+        """
+        lengths = np.asarray(lengths, dtype=np.uint8)
+        key = ("lut", lengths.tobytes(), int(L))
+        cached = _TABLES.lookup(key)
+        if cached is not None:
+            return cached
         codes = canonical_codes(lengths)
         lut_sym = np.zeros(1 << L, dtype=np.uint8)
         lut_len = np.ones(1 << L, dtype=np.int64)  # len>=1 guarantees progress
@@ -180,4 +258,4 @@ class HuffmanCodec:
             span = 1 << (L - l)
             lut_sym[base : base + span] = s
             lut_len[base : base + span] = l
-        return lut_sym, lut_len
+        return _TABLES.store(key, (_readonly(lut_sym), _readonly(lut_len)))

@@ -125,7 +125,9 @@ class LosslessPipeline:
 
     def encode(self, buf: bytes) -> bytes:
         trace = StageTrace()
-        data = buf
+        # Stages slice and concatenate bytes; normalize bytes-like input
+        # (e.g. zero-copy container memoryviews) once at the boundary.
+        data = bytes(buf) if not isinstance(buf, bytes) else buf
         for sname, codec in self.stages:
             nin = len(data)
             data = codec.encode(data)
@@ -134,7 +136,7 @@ class LosslessPipeline:
         return data
 
     def decode(self, buf: bytes) -> bytes:
-        data = buf
+        data = bytes(buf) if not isinstance(buf, bytes) else buf
         for sname, codec in reversed(self.stages):
             data = codec.decode(data)
         return data

@@ -18,25 +18,55 @@ any value whose reconstruction would breach the bound after casting back to
 the storage dtype) are emitted as outliers: code byte 0 plus the exact value.
 
 GPU mapping: in CUDA each 17^3 block is one thread block; here every pass is
-a whole-array gather/scatter over an open mesh (``np.ix_``), i.e. all thread
-blocks of a level advance in one fused vector operation.  Interpolation is
+one fused vector operation per boundary-class sub-block.  Interpolation is
 performed globally (no halo truncation at block borders); DESIGN.md §3
 records this as the one deliberate deviation from the CUDA kernel.
+
+Execution model (the single-thread hot path)
+--------------------------------------------
+All pass geometry — target meshes, boundary-class runs, neighbor addressing,
+highest-order-wins winner sets — depends only on ``(shape, stride, scheme,
+spline)``, never on the data.  It is therefore computed once into a
+:class:`LevelPlan` and memoized (:func:`level_plan`), shared by
+:meth:`InterpolationPredictor.compress`, ``decompress`` *and* ``pass_error``
+(the auto-tuner scores six candidate configs per level on the same sampled
+blocks, so plan reuse there is 6x by construction).  Every index vector of a
+pass is an arithmetic progression, so sub-block targets and their neighbors
+are addressed with **basic slices** — strided views, no ``np.ix_`` gather
+copies — and prediction + quantization run fused into preallocated
+:class:`ScratchPool` buffers.  The arithmetic per point is the exact
+expression tree of the reference :func:`_predict_block`/
+:class:`~repro.quantizer.linear.ByteQuantizer` path, so the emitted codes
+(and the serialized blob) are bit-identical to the unfused implementation —
+``tests/predictor`` asserts the equivalence directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from itertools import combinations
+from itertools import combinations, product
 
 import numpy as np
 
-from .splines import SPLINES, axis_predict
+from ..core.cache import CountedTableCache
+from ..quantizer.linear import ByteQuantizer
+from .splines import (
+    KIND_OFFSETS,
+    KIND_ORDER,
+    SPLINES,
+    axis_kind_segments,
+    axis_predict,
+    predict_kind_into,
+)
 
 __all__ = [
     "LevelConfig",
     "PredictorResult",
     "InterpolationPredictor",
+    "ScratchPool",
+    "LevelPlan",
+    "level_plan",
+    "level_plan_stats",
     "level_strides",
     "level_passes",
 ]
@@ -122,7 +152,11 @@ def level_passes(shape: tuple[int, ...], stride: int, scheme: str):
 def _predict_block(
     R: np.ndarray, vectors: list[np.ndarray], axes: tuple[int, ...], s: int, spline: str
 ) -> np.ndarray:
-    """Combined prediction for one pass (highest-order-wins averaging)."""
+    """Reference combined prediction for one pass (highest-order-wins).
+
+    The mask-based formulation the fused plan path must reproduce bit for
+    bit; kept as the equivalence oracle for ``tests/predictor``.
+    """
     if len(axes) == 1:
         pred, _ = axis_predict(R, axes[0], vectors, s, spline)
         return pred
@@ -139,16 +173,197 @@ def _predict_block(
     return (P * W).sum(axis=0) / W.sum(axis=0)
 
 
+# ---------------------------------------------------------------------------
+# Cached level plans: the data-independent geometry of every pass.
+# ---------------------------------------------------------------------------
+
+
+class _SubBlock:
+    """One constant-boundary-class region of a pass (basic slices only)."""
+
+    __slots__ = ("slices", "shape", "rel_slices", "preds", "n_winners")
+
+    def __init__(self, slices, shape, rel_slices, preds):
+        self.slices = slices  # target region in the full array
+        self.shape = shape  # region extents
+        self.rel_slices = rel_slices  # region position inside the pass block
+        self.preds = preds  # ((axis, kind, neighbor slice tuples), ...)
+        self.n_winners = len(preds)
+
+
+class _Pass:
+    """One prediction pass: its full block plus the sub-block decomposition."""
+
+    __slots__ = ("axes", "block_shape", "sub_blocks")
+
+    def __init__(self, axes, block_shape, sub_blocks):
+        self.axes = axes
+        self.block_shape = block_shape
+        self.sub_blocks = sub_blocks
+
+
+class LevelPlan:
+    """All passes of one (shape, stride, scheme, spline) level."""
+
+    __slots__ = ("shape", "stride", "scheme", "spline", "passes")
+
+    def __init__(self, shape, stride, scheme, spline, passes):
+        self.shape = shape
+        self.stride = stride
+        self.scheme = scheme
+        self.spline = spline
+        self.passes = passes
+
+
+def _pass_descriptors(shape: tuple[int, ...], stride: int, scheme: str):
+    """(start, step) per dimension for every pass — mirrors level_passes."""
+    nd = len(shape)
+    s = stride
+    if scheme == "1d":
+        for d in range(nd):
+            yield [((0, s) if j < d else (s, 2 * s) if j == d else (0, 2 * s)) for j in range(nd)], (d,)
+    elif scheme == "md":
+        for k in range(1, nd + 1):
+            for S in combinations(range(nd), k):
+                yield [((s, 2 * s) if j in S else (0, 2 * s)) for j in range(nd)], S
+    else:  # pragma: no cover - guarded by LevelConfig
+        raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def _build_level_plan(shape: tuple[int, ...], stride: int, scheme: str, spline: str) -> LevelPlan:
+    s = int(stride)
+    passes = []
+    for descr, axes in _pass_descriptors(shape, s, scheme):
+        counts = [len(range(start, dim, step)) for (start, step), dim in zip(descr, shape)]
+        if any(c == 0 for c in counts):
+            continue  # matches the empty-vector skip of the mask path
+        base_slices = [slice(start, dim, step) for (start, step), dim in zip(descr, shape)]
+        seg_lists = [axis_kind_segments(shape[d], s, spline) for d in axes]
+        sub_blocks = []
+        for combo in product(*seg_lists):
+            orders = [KIND_ORDER[kind] for (_, _, kind) in combo]
+            max_order = max(orders)
+            slices = list(base_slices)
+            sub_shape = list(counts)
+            rel = [slice(None)] * len(shape)
+            for d, (i0, i1, _) in zip(axes, combo):
+                c0 = s + 2 * s * i0
+                cl = s + 2 * s * (i1 - 1)
+                slices[d] = slice(c0, cl + 1, 2 * s)
+                sub_shape[d] = i1 - i0
+                rel[d] = slice(i0, i1)
+            preds = []
+            for d, (_, _, kind), order in zip(axes, combo, orders):
+                if order != max_order:
+                    continue  # highest-order-wins: losers never evaluated
+                neighbors = []
+                for off in KIND_OFFSETS[kind]:
+                    nsl = list(slices)
+                    tsl = slices[d]
+                    nsl[d] = slice(tsl.start + off * s, tsl.stop + off * s, tsl.step)
+                    neighbors.append(tuple(nsl))
+                preds.append((d, kind, tuple(neighbors)))
+            sub_blocks.append(
+                _SubBlock(tuple(slices), tuple(sub_shape), tuple(rel), tuple(preds))
+            )
+        passes.append(_Pass(tuple(axes), tuple(counts), tuple(sub_blocks)))
+    return LevelPlan(tuple(shape), s, scheme, spline, tuple(passes))
+
+
+_PLANS = CountedTableCache(capacity=128)
+
+
+def level_plan(shape: tuple[int, ...], stride: int, scheme: str, spline: str) -> LevelPlan:
+    """Memoized :class:`LevelPlan` for one level's pass geometry.
+
+    Keyed by ``(shape, stride, scheme, spline)`` with a small LRU bound; safe
+    under the thread executors (tiled engine, server micro-batcher).
+    """
+    key = (tuple(int(d) for d in shape), int(stride), scheme, spline)
+    plan = _PLANS.lookup(key)
+    if plan is not None:
+        return plan
+    return _PLANS.store(key, _build_level_plan(*key))
+
+
+def level_plan_stats() -> dict:
+    """Hit/miss counters of the plan cache (surfaced in server ``/stats``)."""
+    return _PLANS.stats()
+
+
+class ScratchPool:
+    """Reusable flat buffers handed out as shaped views.
+
+    One pool serves every pass of a compress/decompress call: buffers are
+    keyed by name, grown to the largest shape requested, and re-sliced per
+    sub-block — so the hot loop performs no large allocations after the
+    first (finest-level) pass.  Not thread-safe; use one pool per thread.
+    """
+
+    def __init__(self):
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def get(self, key: str, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        n = 1
+        for d in shape:
+            n *= int(d)
+        dtype = np.dtype(dtype)
+        buf = self._buffers.get(key)
+        if buf is None or buf.dtype != dtype or buf.size < n:
+            size = n if buf is None or buf.dtype != dtype else max(n, buf.size)
+            buf = np.empty(size, dtype=dtype)
+            self._buffers[key] = buf
+        return buf[:n].reshape(shape)
+
+
+def _predict_sub(R: np.ndarray, sb: _SubBlock, spline: str, scratch: ScratchPool) -> np.ndarray:
+    """Fused highest-order-wins prediction of one sub-block into scratch."""
+    acc = scratch.get("pred_acc", sb.shape)
+    tmp = scratch.get("pred_tmp", sb.shape)
+    _, kind0, neighbors0 = sb.preds[0]
+    predict_kind_into(R, kind0, neighbors0, spline, out=acc, tmp=tmp)
+    if sb.n_winners > 1:
+        alt = scratch.get("pred_alt", sb.shape)
+        for _, kind, neighbors in sb.preds[1:]:
+            predict_kind_into(R, kind, neighbors, spline, out=alt, tmp=tmp)
+            np.add(acc, alt, out=acc)
+        np.divide(acc, float(sb.n_winners), out=acc)
+    return acc
+
+
+def _sub_flat_indices(
+    sb: _SubBlock, mask_idx: tuple[np.ndarray, ...], row_strides: tuple[int, ...]
+) -> np.ndarray:
+    """Flat array positions of masked sub-block points (exact int64 math)."""
+    flat = None
+    for d, sl in enumerate(sb.slices):
+        coords = np.arange(sl.start, sl.stop, sl.step, dtype=np.int64)
+        contrib = coords[mask_idx[d]] * row_strides[d]
+        flat = contrib if flat is None else flat + contrib
+    return flat
+
+
+def _row_strides(shape: tuple[int, ...]) -> tuple[int, ...]:
+    out = [1] * len(shape)
+    for d in range(len(shape) - 2, -1, -1):
+        out[d] = out[d + 1] * shape[d + 1]
+    return tuple(out)
+
+
 class InterpolationPredictor:
     """Anchor-grid + hierarchical spline predictor with byte quantization."""
 
     def __init__(self, anchor_stride: int = 16):
         self.anchor_stride = anchor_stride
         self.strides = None  # set per-array in compress/decompress
+        self._scratch = ScratchPool()
 
     # ------------------------------------------------------------- helpers
     def _anchor_vectors(self, shape: tuple[int, ...]) -> list[np.ndarray]:
         return [np.arange(0, dim, self.anchor_stride) for dim in shape]
+
+    def _anchor_slices(self, shape: tuple[int, ...]) -> tuple[slice, ...]:
+        return tuple(slice(0, dim, self.anchor_stride) for dim in shape)
 
     @staticmethod
     def _flat_indices(vectors: list[np.ndarray], mask_idx: tuple[np.ndarray, ...], shape) -> np.ndarray:
@@ -172,36 +387,32 @@ class InterpolationPredictor:
         data = np.asarray(data)
         shape = data.shape
         dtype = data.dtype
-        X = data.astype(np.float64, copy=False)
         R = np.zeros(shape, dtype=np.float64)
         codes = np.full(shape, 128, dtype=np.uint8)
         strides = level_strides(self.anchor_stride)
         configs = {s: (level_configs or {}).get(s, LevelConfig()) for s in strides}
 
-        avec = self._anchor_vectors(shape)
-        anchor_mesh = np.ix_(*avec)
-        anchors = data[anchor_mesh].copy()
-        R[anchor_mesh] = anchors.astype(np.float64)
+        aslices = self._anchor_slices(shape)
+        # Always a copy (never ascontiguousarray): a size-1 anchor grid is a
+        # trivially contiguous *view* of the input, and the zero-copy
+        # container would then alias the caller's buffer through the blob.
+        anchors = data[aslices].copy()
+        R[aslices] = anchors  # exact float64 embedding of the raw anchors
 
-        twoeb = 2.0 * eb
+        quantizer = ByteQuantizer(eb)
+        scratch = self._scratch
         for s in strides:
             cfg = configs[s]
-            for vectors, axes in level_passes(shape, s, cfg.scheme):
-                if any(v.size == 0 for v in vectors):
-                    continue
-                mesh = np.ix_(*vectors)
-                pred = _predict_block(R, vectors, axes, s, cfg.spline)
-                x = X[mesh]
-                q = np.rint((x - pred) / twoeb)
-                recon = pred + q * twoeb
-                # The stored field is cast back to the input dtype; validate
-                # the bound against that representation.
-                recon_cast = recon.astype(dtype).astype(np.float64)
-                outlier = (np.abs(q) > 127) | (np.abs(x - recon_cast) > eb) | ~np.isfinite(q)
-                byte = np.where(outlier, 0.0, q + 128.0).astype(np.uint8)
-                recon = np.where(outlier, x, recon)
-                R[mesh] = recon
-                codes[mesh] = byte
+            plan = level_plan(shape, s, cfg.scheme, cfg.spline)
+            for p in plan.passes:
+                for sb in p.sub_blocks:
+                    pred = _predict_sub(R, sb, cfg.spline, scratch)
+                    # Byte codes land directly in the strided destination —
+                    # no intermediate contiguous copy.
+                    recon = quantizer.quantize_into(
+                        data[sb.slices], pred, dtype, scratch, codes[sb.slices]
+                    )
+                    R[sb.slices] = recon
 
         out_pos = np.flatnonzero(codes.reshape(-1) == 0)
         # Anchor positions can never be outliers (byte 128), so out_pos are
@@ -228,30 +439,35 @@ class InterpolationPredictor:
     ) -> np.ndarray:
         """Replay the prediction passes and rebuild the field exactly."""
         R = np.zeros(shape, dtype=np.float64)
-        avec = self._anchor_vectors(shape)
-        R[np.ix_(*avec)] = anchors.astype(np.float64)
+        R[self._anchor_slices(shape)] = anchors
 
         out_pos = np.flatnonzero(codes.reshape(-1) == 0)
         outlier_values = np.asarray(outlier_values)
         strides = level_strides(self.anchor_stride)
+        row_strides = _row_strides(tuple(shape))
         twoeb = 2.0 * eb
+        scratch = self._scratch
         for s in strides:
             cfg = level_configs.get(s, LevelConfig())
-            for vectors, axes in level_passes(shape, s, cfg.scheme):
-                if any(v.size == 0 for v in vectors):
-                    continue
-                mesh = np.ix_(*vectors)
-                pred = _predict_block(R, vectors, axes, s, cfg.spline)
-                byte = codes[mesh]
-                q = byte.astype(np.float64) - 128.0
-                recon = pred + q * twoeb
-                omask = byte == 0
-                if omask.any():
-                    midx = np.nonzero(omask)
-                    flat = self._flat_indices(vectors, midx, shape)
-                    vidx = np.searchsorted(out_pos, flat)
-                    recon[midx] = outlier_values[vidx].astype(np.float64)
-                R[mesh] = recon
+            plan = level_plan(tuple(shape), s, cfg.scheme, cfg.spline)
+            for p in plan.passes:
+                for sb in p.sub_blocks:
+                    pred = _predict_sub(R, sb, cfg.spline, scratch)
+                    byte = codes[sb.slices]
+                    q = scratch.get("quant_q", sb.shape)
+                    np.copyto(q, byte)
+                    np.subtract(q, 128.0, out=q)
+                    recon = scratch.get("quant_recon", sb.shape)
+                    np.multiply(q, twoeb, out=recon)
+                    np.add(pred, recon, out=recon)
+                    omask = scratch.get("quant_outlier", sb.shape, np.bool_)
+                    np.equal(byte, 0, out=omask)
+                    if omask.any():
+                        midx = np.nonzero(omask)
+                        flat = _sub_flat_indices(sb, midx, row_strides)
+                        vidx = np.searchsorted(out_pos, flat)
+                        recon[midx] = outlier_values[vidx].astype(np.float64)
+                    R[sb.slices] = recon
         return R.astype(dtype)
 
     # ------------------------------------------------------------- dry run
@@ -265,14 +481,20 @@ class InterpolationPredictor:
 
         Auto-tuning (§5.1.3) scores candidate configurations by predicting a
         level's points *from the original data* — the cheap surrogate QoZ
-        introduced — so no quantization state is needed.
+        introduced — so no quantization state is needed.  Per-pass errors are
+        accumulated through a pass-block-shaped scratch buffer so the
+        reduction tree matches the mask-based implementation exactly.
         """
         Xf = X.astype(np.float64, copy=False)
+        scratch = self._scratch
         total = 0.0
-        for vectors, axes in level_passes(X.shape, stride, config.scheme):
-            if any(v.size == 0 for v in vectors):
-                continue
-            mesh = np.ix_(*vectors)
-            pred = _predict_block(Xf, vectors, axes, stride, config.spline)
-            total += float(np.abs(Xf[mesh] - pred).sum())
+        plan = level_plan(X.shape, stride, config.scheme, config.spline)
+        for p in plan.passes:
+            diff = scratch.get("pass_diff", p.block_shape)
+            for sb in p.sub_blocks:
+                pred = _predict_sub(Xf, sb, config.spline, scratch)
+                view = diff[sb.rel_slices]
+                np.subtract(Xf[sb.slices], pred, out=view)
+                np.abs(view, out=view)
+            total += float(diff.sum())
         return total

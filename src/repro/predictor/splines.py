@@ -27,7 +27,20 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["SPLINES", "axis_predict", "spline_weights"]
+__all__ = [
+    "SPLINES",
+    "axis_predict",
+    "spline_weights",
+    "KIND_FULL",
+    "KIND_QUAD_L",
+    "KIND_QUAD_R",
+    "KIND_LIN",
+    "KIND_COPY",
+    "KIND_ORDER",
+    "KIND_OFFSETS",
+    "axis_kind_segments",
+    "predict_kind_into",
+]
 
 #: interior 4-point weights per spline family (applied to m3, m1, p1, p3)
 SPLINES: dict[str, tuple[float, float, float, float]] = {
@@ -112,3 +125,110 @@ def axis_predict(
     )
     order = np.where(full, 3, np.where(quad_l | quad_r, 2, np.where(lin, 1, 0))).reshape(shape)
     return pred, order
+
+
+# --------------------------------------------------------------------------
+# Segment-wise kernels for the fused prediction path.
+#
+# axis_predict computes *every* boundary form over the whole block and selects
+# per point with nested np.where — four full-size evaluations to keep one.
+# But the boundary class of a target depends only on its coordinate along the
+# interpolation axis, and the target vector t = s, 3s, 5s, ... decomposes into
+# a handful of *contiguous runs* of constant class (interior targets are the
+# 4-point spline, one or two targets per edge fall back to quadratic/linear/
+# copy forms).  The fused path in repro.predictor.interpolation therefore
+# splits each pass into per-run sub-blocks and evaluates exactly one formula
+# per sub-block, on strided views, into preallocated scratch — bit-identical
+# results at a quarter of the arithmetic and none of the gather copies.
+# --------------------------------------------------------------------------
+
+#: boundary classes of one target run, ordered by interpolation order
+KIND_FULL, KIND_QUAD_L, KIND_QUAD_R, KIND_LIN, KIND_COPY = range(5)
+
+#: paper order of each class: 3 = 4-point spline, 2 = one-sided quadratic,
+#: 1 = linear, 0 = nearest-known copy (drives highest-order-wins averaging)
+KIND_ORDER = (3, 2, 2, 1, 0)
+
+#: neighbor offsets (in units of the stride) each class reads, formula order
+KIND_OFFSETS = ((-3, -1, 1, 3), (-3, -1, 1), (-1, 1, 3), (-1, 1), (-1,))
+
+
+def axis_kind_segments(dim: int, stride: int, spline: str) -> list[tuple[int, int, int]]:
+    """Decompose targets ``t = stride, 3*stride, ...`` into class runs.
+
+    Returns ``[(i0, i1, kind), ...]`` — half-open index runs into the target
+    vector, covering it exactly.  Mirrors the ``np.where`` cascade of
+    :func:`axis_predict`, so a run's single formula reproduces the masked
+    selection bit for bit.
+    """
+    if spline not in SPLINES:
+        raise KeyError(f"unknown spline {spline!r}")
+    s = int(stride)
+    t = np.arange(s, dim, 2 * s)
+    if t.size == 0:
+        return []
+    has_p1 = (t + s) <= dim - 1
+    if spline == "linear":
+        kind = np.where(has_p1, KIND_LIN, KIND_COPY)
+    else:
+        has_m3 = (t - 3 * s) >= 0
+        has_p3 = (t + 3 * s) <= dim - 1
+        full = has_m3 & has_p3 & has_p1
+        quad_l = has_m3 & has_p1 & ~has_p3
+        quad_r = ~has_m3 & has_p1 & has_p3
+        lin = has_p1 & ~(full | quad_l | quad_r)
+        kind = np.full(t.size, KIND_COPY, dtype=np.int64)
+        kind[lin] = KIND_LIN
+        kind[quad_r] = KIND_QUAD_R
+        kind[quad_l] = KIND_QUAD_L
+        kind[full] = KIND_FULL
+    segments = []
+    start = 0
+    for i in range(1, t.size + 1):
+        if i == t.size or kind[i] != kind[start]:
+            segments.append((start, i, int(kind[start])))
+            start = i
+    return segments
+
+
+def _weighted_sum(terms, out: np.ndarray, tmp: np.ndarray) -> None:
+    """Left-associated ``w0*a0 + w1*a1 + ...`` into ``out`` (bit-exact with
+    the expression form used by :func:`axis_predict`)."""
+    w0, a0 = terms[0]
+    np.multiply(a0, w0, out=out)
+    for w, a in terms[1:]:
+        np.multiply(a, w, out=tmp)
+        np.add(out, tmp, out=out)
+
+
+def predict_kind_into(
+    R: np.ndarray,
+    kind: int,
+    nb_slices: tuple,
+    spline: str,
+    out: np.ndarray,
+    tmp: np.ndarray,
+) -> None:
+    """One-class prediction of a sub-block into preallocated ``out``.
+
+    ``nb_slices`` holds one basic-slice tuple per neighbor of the class (in
+    :data:`KIND_OFFSETS` order); the reads are strided views of ``R`` — no
+    gather copies.  ``R`` must be float64 (binary operands stay array-array,
+    so no value-based scalar promotion can change the compute dtype).
+    """
+    views = [R[sl] for sl in nb_slices]
+    if kind == KIND_FULL:
+        w = SPLINES[spline]
+        _weighted_sum(list(zip(w, views)), out, tmp)
+    elif kind == KIND_QUAD_L:
+        _weighted_sum(list(zip(_QUAD_LEFT, views)), out, tmp)
+    elif kind == KIND_QUAD_R:
+        _weighted_sum(list(zip(_QUAD_RIGHT, views)), out, tmp)
+    elif kind == KIND_LIN:
+        m1, p1 = views
+        np.add(m1, p1, out=out)
+        np.multiply(out, 0.5, out=out)
+    elif kind == KIND_COPY:
+        np.copyto(out, views[0])
+    else:  # pragma: no cover - plan builder only emits known kinds
+        raise ValueError(f"unknown prediction kind {kind!r}")

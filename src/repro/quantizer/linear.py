@@ -117,3 +117,65 @@ class ByteQuantizer:
         """Reconstruct non-outlier positions (outliers are the caller's)."""
         q = codes.astype(np.float64) - float(self.CENTER)
         return np.asarray(predictions, dtype=np.float64) + q * (2.0 * self.eb)
+
+    # ------------------------------------------------------------ fused path
+    def quantize_into(
+        self,
+        values: np.ndarray,
+        predictions: np.ndarray,
+        dtype: np.dtype,
+        scratch,
+        out_codes: np.ndarray,
+    ) -> np.ndarray:
+        """Scratch-buffer variant of :meth:`quantize` for the fused hot path.
+
+        Writes the byte codes into ``out_codes`` (uint8, pre-shaped) and
+        returns the bound-respecting float64 reconstruction as a view of
+        ``scratch`` buffers — no per-call temporaries beyond the pool.
+        ``scratch`` is any object with ``get(key, shape, dtype)`` returning
+        reusable arrays (see ``repro.predictor.interpolation.ScratchPool``).
+
+        ``values`` may be the storage-dtype (e.g. float32) strided view of
+        the source: every binary op pairs it with a float64 array, so the
+        arithmetic runs in float64 exactly like :meth:`quantize`.  The
+        outputs are bit-identical to the unfused method; ``predictions``
+        must be float64 and is consumed (not preserved).
+        """
+        twoeb = 2.0 * self.eb
+        shape = predictions.shape
+        q = scratch.get("quant_q", shape, np.float64)
+        tmp = scratch.get("quant_tmp", shape, np.float64)
+        recon = scratch.get("quant_recon", shape, np.float64)
+        outlier = scratch.get("quant_outlier", shape, np.bool_)
+        flag = scratch.get("quant_flag", shape, np.bool_)
+
+        np.subtract(values, predictions, out=q)
+        np.divide(q, twoeb, out=q)
+        np.rint(q, out=q)  # q = rint((x - pred) / 2eb)
+        np.multiply(q, twoeb, out=recon)
+        np.add(predictions, recon, out=recon)  # recon = pred + q * 2eb
+        # Validate the bound against the storage-dtype representation
+        # (float64 storage: the representation *is* recon — skip the casts).
+        if np.dtype(dtype) == np.float64:
+            cast64 = recon
+        else:
+            cast = scratch.get("quant_cast", shape, dtype)
+            cast64 = scratch.get("quant_cast64", shape, np.float64)
+            np.copyto(cast, recon, casting="unsafe")
+            np.copyto(cast64, cast)
+        # outlier = (|q| > 127) | (|x - recon_cast| > eb) | ~isfinite(q),
+        # computed as ~((|q| <= 127) & (|x - recon_cast| <= eb)): identical
+        # truth table (NaN/Inf fail the <= comparisons, and a NaN residual
+        # implies a NaN q), three fewer full-size passes.
+        np.abs(q, out=tmp)
+        np.less_equal(tmp, self.RADIUS, out=outlier)
+        np.subtract(values, cast64, out=tmp)
+        np.abs(tmp, out=tmp)
+        np.less_equal(tmp, self.eb, out=flag)
+        np.logical_and(outlier, flag, out=outlier)
+        np.logical_not(outlier, out=outlier)
+        np.add(q, float(self.CENTER), out=tmp)
+        np.copyto(tmp, 0.0, where=outlier)
+        np.copyto(out_codes, tmp, casting="unsafe")  # uint8 byte codes
+        np.copyto(recon, values, where=outlier)  # outliers carry exact values
+        return recon

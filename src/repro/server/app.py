@@ -53,7 +53,11 @@ import numpy as np
 
 from ..core.container import ContainerError
 from ..core.registry import codec_name
+from ..encoders import ans as _ans_tables
+from ..encoders import huffman as _huffman_tables
+from ..predictor.interpolation import level_plan_stats
 from ..service import ArchiveError, ArchiveNotFound, ArchiveStore, ManifestError
+from ..service.archive import blob_cache_stats
 from .batching import MicroBatcher
 from .cache import ByteBudgetLRU
 from .jobs import JobManager, check_bare_name
@@ -495,7 +499,15 @@ class ReproServer:
 
     # ------------------------------------------------------------------ stats
     def stats(self) -> dict:
-        """Everything ``GET /stats`` reports, as one JSON-ready document."""
+        """Everything ``GET /stats`` reports, as one JSON-ready document.
+
+        ``codec_tables`` exposes the memoized coding-table counters (Huffman
+        code/LUT tables, rANS tables, interpolation pass plans): micro-batched
+        requests with identical histograms must show ``huffman.hits`` growing
+        instead of rebuilding tables — the counters make that provable from
+        the outside.  ``archive_blob_cache`` is the parsed-frame cache behind
+        per-tile archive reads.
+        """
         return {
             "uptime_s": round(time.time() - self._started_s, 3),
             "archive_root": self.archive_root,
@@ -504,6 +516,12 @@ class ReproServer:
             "cache": self.cache.stats(),
             "batcher": self.batcher.stats(),
             "jobs": self.jobs.counts(),
+            "codec_tables": {
+                "huffman": _huffman_tables.table_cache_stats(),
+                "ans": _ans_tables.table_cache_stats(),
+                "interp_plans": level_plan_stats(),
+            },
+            "archive_blob_cache": blob_cache_stats(),
         }
 
 

@@ -1,147 +1,12 @@
-"""Byte-budgeted LRU cache for decompressed tiles and fields.
+"""Byte-budgeted LRU cache — re-export of :mod:`repro.core.cache`.
 
-Serving partial-fidelity reads cheaply is the point of the per-tile container
-layout; the cache turns *repeated* random access into a hot path by keeping
-recently decoded tiles/fields in memory up to a fixed byte budget.  Unlike a
-count-bounded ``functools.lru_cache``, the budget is expressed in **bytes**
-— a 512³ field and a 16³ tile are not the same cache pressure — and every
-hit/miss/eviction is counted so ``GET /stats`` can prove cache behavior from
-the outside.
-
-Semantics:
-
-* ``get`` moves the entry to most-recently-used and counts a hit/miss;
-* ``put`` inserts (or refreshes) an entry, then evicts least-recently-used
-  entries until the budget holds; an entry larger than the whole budget is
-  simply not cached (counted as ``rejected``, not an eviction storm);
-* a budget of ``0`` disables the cache entirely: every ``get`` misses,
-  every ``put`` is a no-op — the service runs uncached with zero branches
-  at the call sites;
-* all operations take an internal lock, so executor worker threads and the
-  event loop can share one instance safely.
-
-Examples
---------
->>> cache = ByteBudgetLRU(budget_bytes=100)
->>> cache.put("a", b"x" * 60)
-True
->>> cache.put("b", b"y" * 60)  # evicts "a": 120 > 100
-True
->>> cache.get("a") is None
-True
->>> cache.get("b") == b"y" * 60
-True
->>> stats = cache.stats()
->>> (stats["hits"], stats["misses"], stats["evictions"])
-(1, 1, 1)
+The implementation moved to the core layer so storage-side consumers (the
+archive store's parsed-frame cache) can share it without importing the HTTP
+server package; this module remains the server-facing name.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
+from ..core.cache import ByteBudgetLRU
 
 __all__ = ["ByteBudgetLRU"]
-
-
-def _sizeof(value) -> int:
-    """Byte footprint of a cached value (ndarray ``nbytes`` or ``len``)."""
-    nbytes = getattr(value, "nbytes", None)
-    if nbytes is not None:
-        return int(nbytes)
-    return len(value)
-
-
-class ByteBudgetLRU:
-    """Thread-safe least-recently-used cache bounded by total payload bytes."""
-
-    def __init__(self, budget_bytes: int):
-        budget_bytes = int(budget_bytes)
-        if budget_bytes < 0:
-            raise ValueError(f"budget_bytes must be >= 0, got {budget_bytes}")
-        self.budget_bytes = budget_bytes
-        self._lock = threading.Lock()
-        self._entries: OrderedDict[object, tuple[object, int]] = OrderedDict()
-        self._used = 0
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._rejected = 0
-
-    @property
-    def enabled(self) -> bool:
-        return self.budget_bytes > 0
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-    def __contains__(self, key) -> bool:
-        with self._lock:
-            return key in self._entries
-
-    # ----------------------------------------------------------------- access
-    def get(self, key):
-        """Return the cached value or ``None``; counts a hit or a miss."""
-        with self._lock:
-            found = self._entries.get(key)
-            if found is None:
-                self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return found[0]
-
-    def put(self, key, value, nbytes: int | None = None) -> bool:
-        """Insert ``value`` under ``key``; returns whether it was cached.
-
-        ``nbytes`` overrides the measured footprint (callers that already
-        know the size skip a ``len``/``nbytes`` probe).  Inserting an
-        existing key refreshes its value, size and recency.
-        """
-        size = _sizeof(value) if nbytes is None else int(nbytes)
-        if not self.enabled or size > self.budget_bytes:
-            with self._lock:
-                self._rejected += 1
-            return False
-        with self._lock:
-            old = self._entries.pop(key, None)
-            if old is not None:
-                self._used -= old[1]
-            self._entries[key] = (value, size)
-            self._used += size
-            while self._used > self.budget_bytes:
-                _, (_, evicted_size) = self._entries.popitem(last=False)
-                self._used -= evicted_size
-                self._evictions += 1
-            return True
-
-    def invalidate(self, key) -> bool:
-        """Drop one entry (not counted as an eviction); returns whether it existed."""
-        with self._lock:
-            found = self._entries.pop(key, None)
-            if found is None:
-                return False
-            self._used -= found[1]
-            return True
-
-    def clear(self) -> None:
-        with self._lock:
-            self._entries.clear()
-            self._used = 0
-
-    # ------------------------------------------------------------------ stats
-    def stats(self) -> dict:
-        """Counter snapshot (the ``cache`` block of ``GET /stats``)."""
-        with self._lock:
-            hits, misses = self._hits, self._misses
-            return {
-                "budget_bytes": self.budget_bytes,
-                "used_bytes": self._used,
-                "entries": len(self._entries),
-                "hits": hits,
-                "misses": misses,
-                "evictions": self._evictions,
-                "rejected": self._rejected,
-                "hit_rate": hits / (hits + misses) if hits + misses else None,
-            }

@@ -44,12 +44,46 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.cache import ByteBudgetLRU
 from ..core.container import CompressedBlob, ContainerError, is_tiled
 from ..core.registry import codec_class, codec_name
 from ..core.streaming import StreamReader
 from ..core.tiling import TiledEngine
 
-__all__ = ["ArchiveEntry", "ArchiveError", "ArchiveNotFound", "ArchiveStore"]
+__all__ = [
+    "ArchiveEntry",
+    "ArchiveError",
+    "ArchiveNotFound",
+    "ArchiveStore",
+    "blob_cache_stats",
+    "clear_blob_cache",
+]
+
+#: process-wide cache of *parsed* frames: repeated reads of one entry (most
+#: prominently per-tile random access, which used to re-read and re-CRC the
+#: whole frame for every tile) skip straight to the zero-copy container.
+#: Keys carry file identity + stat, so any on-disk change misses naturally.
+#: Sized by REPRO_BLOB_CACHE_BYTES (0 disables; default 128 MiB) so
+#: memory-constrained deployments can bound or turn off this layer too.
+def _blob_cache_budget() -> int:
+    raw = os.environ.get("REPRO_BLOB_CACHE_BYTES", "")
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 128 * 1024 * 1024
+
+
+_blob_cache = ByteBudgetLRU(_blob_cache_budget())
+
+
+def blob_cache_stats() -> dict:
+    """Counter snapshot of the parsed-frame cache (surfaced in GET /stats)."""
+    return _blob_cache.stats()
+
+
+def clear_blob_cache() -> None:
+    """Drop every cached parsed frame (test isolation)."""
+    _blob_cache.clear()
 
 _MAGIC = b"RPZARCH1"
 _PTR_MAGIC = b"RPZAIDX1"
@@ -358,14 +392,40 @@ class ArchiveStore:
             )
         return raw
 
+    def _blob_cache_key(self, e: ArchiveEntry):
+        if self.backend == "file":
+            source = self.path
+        else:
+            source = os.path.join(self.path, e.filename or "")
+        try:
+            st = os.stat(source)
+        except OSError:
+            return None  # unstattable source: skip caching, read as before
+        return (
+            os.path.abspath(source),
+            e.name,
+            e.offset,
+            e.nbytes,
+            st.st_mtime_ns,
+            st.st_size,
+        )
+
     def get_blob(self, name: str) -> CompressedBlob:
         e = self.entry(name)
         if e.kind != "field":
             raise ArchiveError(f"entry {name!r} is a {e.kind} entry; use get()")
+        key = self._blob_cache_key(e)
+        if key is not None:
+            cached = _blob_cache.get(key)
+            if cached is not None:
+                return cached
         try:
-            return CompressedBlob.from_bytes(self.read_bytes(name))
+            blob = CompressedBlob.from_bytes(self.read_bytes(name))
         except ContainerError as exc:
             raise ArchiveError(f"entry {name!r}: {exc}") from None
+        if key is not None:
+            _blob_cache.put(key, blob, nbytes=blob.nbytes)
+        return blob
 
     def get(self, name: str) -> np.ndarray:
         """Decompress one entry; stream entries come back stacked (T, ...)."""
@@ -405,7 +465,7 @@ class ArchiveStore:
         are rejected unless ``replace=True`` (see :meth:`_add`).
         """
         if isinstance(blob, (bytes, bytearray, memoryview)):
-            payload = bytes(blob)
+            payload = blob  # written as-is below; no defensive copy needed
             try:
                 blob = CompressedBlob.from_bytes(payload)
             except ContainerError as exc:

@@ -1,0 +1,154 @@
+"""Zero-copy container contracts: arithmetic sizing, aliasing, view parsing."""
+
+import numpy as np
+import pytest
+
+from repro.core.container import CompressedBlob, ContainerError, pack_tiled, unpack_tile
+
+
+@pytest.fixture()
+def blob():
+    b = CompressedBlob(
+        codec=3,
+        shape=(6, 8),
+        dtype=np.dtype(np.float32),
+        error_bound=1e-3,
+        meta={"pipeline": "HF", "note": "zero-copy"},
+    )
+    b.put_array("anchors", np.arange(12, dtype=np.float32).reshape(3, 4))
+    b.put_array("outliers", np.array([1.5, -2.5], dtype=np.float32))
+    b.segments["codes"] = b"\x80" * 48
+    return b
+
+
+class TestArithmeticNbytes:
+    def test_nbytes_never_serializes(self, blob, monkeypatch):
+        """The satellite contract: sizing must not run the serializer."""
+        calls = []
+        original = CompressedBlob.to_bytes
+
+        def spy(self):
+            calls.append(1)
+            return original(self)
+
+        monkeypatch.setattr(CompressedBlob, "to_bytes", spy)
+        _ = blob.nbytes
+        _ = blob.segment_sizes()
+        _ = blob.compression_ratio
+        _ = blob.bitrate
+        assert calls == [], "nbytes/segment_sizes must be computed arithmetically"
+
+    def test_nbytes_matches_serialized_length(self, blob):
+        assert blob.nbytes == len(blob.to_bytes())
+
+    def test_nbytes_matches_for_tiled_frames(self):
+        frame = pack_tiled(
+            codec=9,
+            shape=(4, 4),
+            dtype=np.float32,
+            error_bound=1e-2,
+            tiles=[((0, 0), (4, 2)), ((0, 2), (4, 2))],
+            payloads=[b"abc", b"defgh"],
+            meta={"k": "v"},
+        )
+        assert frame.nbytes == len(frame.to_bytes())
+
+    def test_nbytes_tracks_meta_and_segment_edits(self, blob):
+        before = blob.nbytes
+        blob.meta["extra"] = "x" * 10
+        blob.segments["more"] = b"y" * 100
+        assert blob.nbytes == before + (2 + 5 + 4 + 10) + (2 + 4 + 12 + 100)
+        assert blob.nbytes == len(blob.to_bytes())
+
+
+class TestPutArrayAliasing:
+    def test_put_array_is_zero_copy(self):
+        blob = CompressedBlob(1, (4,), np.dtype(np.float32), 1e-3)
+        src = np.arange(4, dtype=np.float32)
+        blob.put_array("a", src)
+        assert np.shares_memory(blob.get_array("a"), src)
+
+    def test_put_array_aliases_documented(self):
+        """Mutating the source *is visible* — put_array hands over ownership
+        (the documented zero-copy contract; compressors store fresh arrays)."""
+        blob = CompressedBlob(1, (4,), np.dtype(np.float32), 1e-3)
+        src = np.arange(4, dtype=np.float32)
+        blob.put_array("a", src)
+        src[0] = 99.0
+        assert blob.get_array("a")[0] == 99.0
+
+    def test_get_array_is_read_only(self):
+        blob = CompressedBlob(1, (4,), np.dtype(np.float32), 1e-3)
+        blob.put_array("a", np.arange(4, dtype=np.float32))
+        arr = blob.get_array("a")
+        with pytest.raises(ValueError):
+            arr[0] = 1.0
+
+    def test_noncontiguous_input_still_round_trips(self):
+        blob = CompressedBlob(1, (4,), np.dtype(np.float64), 1e-3)
+        src = np.arange(16, dtype=np.float64).reshape(4, 4).T  # not C-contiguous
+        blob.put_array("t", src)
+        np.testing.assert_array_equal(blob.get_array("t"), src)
+
+    def test_compress_never_aliases_caller_input(self):
+        """Regression: a size-1 anchor grid made the anchors segment a view
+        of the caller's array — mutating the input after compress() must
+        never change what the blob decodes to."""
+        from repro.core.compressor import CuszHi
+
+        x = np.linspace(0.0, 1.0, 8).astype(np.float32)  # dims < anchor_stride
+        comp = CuszHi(mode="cr")
+        blob = comp.compress(x, 1e-3)
+        before = comp.decompress(blob).copy()
+        x[0] = 999.0
+        np.testing.assert_array_equal(comp.decompress(blob), before)
+
+
+class TestFromBytesViews:
+    def test_memoryview_input_parses_without_copy(self, blob):
+        raw = blob.to_bytes()
+        parsed = CompressedBlob.from_bytes(memoryview(raw))
+        for name, seg in parsed.segments.items():
+            assert isinstance(seg, memoryview), name
+            assert seg.obj is raw, f"segment {name} must view the input buffer"
+        np.testing.assert_array_equal(parsed.get_array("anchors"), blob.get_array("anchors"))
+
+    def test_bytes_input_parses_as_views(self, blob):
+        raw = blob.to_bytes()
+        parsed = CompressedBlob.from_bytes(raw)
+        assert all(isinstance(s, memoryview) for s in parsed.segments.values())
+        assert bytes(parsed.segments["codes"]) == b"\x80" * 48
+
+    def test_bytearray_input_aliases_documented(self, blob):
+        """from_bytes keeps views into mutable buffers (documented aliasing)."""
+        raw = bytearray(blob.to_bytes())
+        parsed = CompressedBlob.from_bytes(raw)
+        probe = bytes(parsed.segments["codes"])
+        pos = bytes(raw).rindex(b"\x80" * 48)
+        raw[pos] ^= 0xFF
+        assert bytes(parsed.segments["codes"]) != probe  # view, not copy
+
+    def test_round_trip_reserializes_identically(self, blob):
+        raw = blob.to_bytes()
+        assert CompressedBlob.from_bytes(memoryview(raw)).to_bytes() == raw
+
+    def test_truncated_segment_payload_still_clean_error(self, blob):
+        raw = blob.to_bytes()
+        with pytest.raises(ContainerError, match="truncated|extends past"):
+            CompressedBlob.from_bytes(raw[:-5])
+
+    def test_unpack_tile_is_zero_copy(self):
+        frame = pack_tiled(
+            codec=9,
+            shape=(4,),
+            dtype=np.float32,
+            error_bound=1e-2,
+            tiles=[((0,), (2,)), ((2,), (2,))],
+            payloads=[b"abcd", b"wxyz"],
+        )
+        raw = frame.to_bytes()
+        parsed = CompressedBlob.from_bytes(raw)
+        _, _, payload = unpack_tile(parsed, 1)
+        assert bytes(payload) == b"wxyz"
+        assert isinstance(payload, memoryview)
+        assert payload.obj is raw

@@ -1,0 +1,81 @@
+"""Codec-table memoization: identical histograms must not rebuild tables."""
+
+import numpy as np
+import pytest
+
+from repro.encoders import ans, huffman
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    huffman.reset_table_cache()
+    ans.reset_table_cache()
+    yield
+    huffman.reset_table_cache()
+    ans.reset_table_cache()
+
+
+class TestHuffmanTableCache:
+    def test_repeat_encode_hits_cache(self):
+        buf = bytes(np.random.default_rng(0).integers(0, 40, 4096, dtype=np.uint8))
+        codec = huffman.HuffmanCodec()
+        codec.encode(buf)
+        misses_after_first = huffman.table_cache_stats()["misses"]
+        out1 = codec.encode(buf)
+        stats = huffman.table_cache_stats()
+        assert stats["hits"] >= 2  # lengths + canonical codes at minimum
+        assert stats["misses"] == misses_after_first
+        assert out1 == codec.encode(buf)
+
+    def test_repeat_decode_hits_lut_cache(self):
+        buf = bytes(np.random.default_rng(1).integers(0, 9, 4096, dtype=np.uint8))
+        codec = huffman.HuffmanCodec()
+        enc = codec.encode(buf)
+        assert codec.decode(enc) == buf
+        hits_before = huffman.table_cache_stats()["hits"]
+        assert codec.decode(enc) == buf
+        assert huffman.table_cache_stats()["hits"] > hits_before
+
+    def test_cached_tables_are_read_only(self):
+        freq = np.bincount(np.frombuffer(b"aabbbbcc", np.uint8), minlength=256)
+        lengths = huffman.code_lengths_from_frequencies(freq)
+        with pytest.raises(ValueError):
+            lengths[0] = 1
+        codes = huffman.canonical_codes(lengths)
+        with pytest.raises(ValueError):
+            codes[0] = 1
+
+    def test_distinct_histograms_do_not_collide(self):
+        a = np.bincount(np.frombuffer(b"aaab", np.uint8), minlength=256)
+        b = np.bincount(np.frombuffer(b"abbb", np.uint8), minlength=256)
+        la = huffman.code_lengths_from_frequencies(a)
+        lb = huffman.code_lengths_from_frequencies(b)
+        assert not np.array_equal(la, lb) or la is not lb
+
+    def test_reset_clears_counters(self):
+        freq = np.bincount(np.frombuffer(b"xyzz", np.uint8), minlength=256)
+        huffman.code_lengths_from_frequencies(freq)
+        huffman.reset_table_cache()
+        assert huffman.table_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+
+class TestAnsTableCache:
+    def test_repeat_normalization_hits_cache(self):
+        counts = np.bincount(
+            np.random.default_rng(2).integers(0, 17, 4096, dtype=np.uint8), minlength=256
+        )
+        f1 = ans.normalize_frequencies(counts)
+        stats1 = ans.table_cache_stats()
+        f2 = ans.normalize_frequencies(counts.copy())
+        stats2 = ans.table_cache_stats()
+        assert stats2["hits"] == stats1["hits"] + 1
+        assert f1 is f2  # shared read-only table
+
+    def test_round_trip_with_cache(self):
+        buf = bytes(np.random.default_rng(3).integers(0, 50, 5000, dtype=np.uint8))
+        codec = ans.RansCodec()
+        enc = codec.encode(buf)
+        assert codec.decode(enc) == buf
+        hits_before = ans.table_cache_stats()["hits"]
+        assert codec.decode(enc) == buf  # decode tables now cached
+        assert ans.table_cache_stats()["hits"] > hits_before

@@ -1,0 +1,139 @@
+"""repro.bench: schema, determinism, regression diffing, CLI wiring."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import bench
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    """One real smoke run shared by the module (seconds, not minutes)."""
+    return bench.run_pipeline_bench(smoke=True, label="test", repeats=1)
+
+
+class TestWorkloads:
+    def test_generators_are_deterministic(self):
+        for name, _, _ in bench.WORKLOADS:
+            a = bench.generate_field(name, smoke=True)
+            b = bench.generate_field(name, smoke=True)
+            assert a.dtype == np.float32 and a.flags.c_contiguous
+            np.testing.assert_array_equal(a, b)
+
+    def test_dimensionalities_cover_1d_2d_3d(self):
+        dims = sorted(len(s) for _, s, _ in bench.WORKLOADS)
+        assert dims == [1, 2, 3]
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench workload"):
+            bench.generate_field("nope")
+
+
+class TestReportSchema:
+    def test_schema_and_matrix(self, smoke_report):
+        assert smoke_report["schema"] == bench.SCHEMA
+        assert smoke_report["smoke"] is True
+        assert len(smoke_report["cases"]) == len(bench.WORKLOADS) * len(bench.ERROR_BOUNDS)
+        for case in smoke_report["cases"]:
+            assert set(case["stages"]) == {"compress", "serialize", "deserialize", "decompress"}
+            for stage in case["stages"].values():
+                assert stage["wall_s"] >= 0
+            assert len(case["blob_sha256"]) == 64
+            assert case["max_abs_err"] >= 0
+            assert case["cr"] > 1
+
+    def test_write_and_load_round_trip(self, smoke_report, tmp_path):
+        path = tmp_path / "r.json"
+        bench.write_report(smoke_report, str(path))
+        assert bench.load_report(str(path))["cases"] == smoke_report["cases"]
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"schema": "other/1"}))
+        with pytest.raises(ValueError, match="not a repro.bench-pipeline/1"):
+            bench.load_report(str(path))
+
+    def test_format_report_lists_every_case(self, smoke_report):
+        text = bench.format_report(smoke_report)
+        for name, _, _ in bench.WORKLOADS:
+            assert name in text
+
+
+class TestDiff:
+    def _tweak(self, report, factor, stage="compress"):
+        doc = json.loads(json.dumps(report))  # deep copy
+        for case in doc["cases"]:
+            case["stages"][stage]["wall_s"] = round(
+                case["stages"][stage]["wall_s"] * factor + 1e-6, 6
+            )
+        return doc
+
+    def test_no_regression_within_threshold(self, smoke_report):
+        result = bench.diff_reports(smoke_report, smoke_report, threshold=0.25)
+        assert result["regressions"] == []
+        assert result["digest_changes"] == []
+
+    def test_regression_detected_beyond_threshold(self, smoke_report):
+        slower = self._tweak(smoke_report, 10.0)
+        result = bench.diff_reports(smoke_report, slower, threshold=0.25, min_wall=0.0)
+        assert len(result["regressions"]) == len(smoke_report["cases"])
+
+    def test_improvement_reported(self, smoke_report):
+        faster = self._tweak(smoke_report, 0.05)
+        result = bench.diff_reports(smoke_report, faster, threshold=0.25, min_wall=0.0)
+        assert result["regressions"] == []
+        assert result["improvements"]
+
+    def test_min_wall_floor_skips_scheduler_noise(self, smoke_report):
+        slower = self._tweak(smoke_report, 10.0)
+        result = bench.diff_reports(smoke_report, slower, threshold=0.25, min_wall=1e9)
+        assert result["regressions"] == []  # every stage below the floor
+
+    def test_digest_change_flagged_separately(self, smoke_report):
+        changed = json.loads(json.dumps(smoke_report))
+        changed["cases"][0]["blob_sha256"] = "0" * 64
+        result = bench.diff_reports(smoke_report, changed, threshold=0.25)
+        assert len(result["digest_changes"]) == 1
+        assert result["regressions"] == []
+
+    def test_missing_baseline_case_reported(self, smoke_report):
+        trimmed = json.loads(json.dumps(smoke_report))
+        trimmed["cases"] = trimmed["cases"][1:]
+        result = bench.diff_reports(trimmed, smoke_report, threshold=0.25)
+        assert len(result["missing"]) == 1
+
+    def test_negative_threshold_rejected(self, smoke_report):
+        with pytest.raises(ValueError):
+            bench.diff_reports(smoke_report, smoke_report, threshold=-0.1)
+
+
+class TestCli:
+    def test_bench_diff_exit_codes(self, smoke_report, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        bench.write_report(smoke_report, str(old))
+        slower = TestDiff()._tweak(smoke_report, 10.0)
+        bench.write_report(slower, str(new))
+        assert main(["bench", "--diff", str(old), str(old)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+        assert main(["bench", "--diff", str(old), str(new)]) == 1
+        assert "REGRESSED" in capsys.readouterr().err
+
+    def test_bench_diff_missing_file_is_clean_error(self, tmp_path, capsys):
+        assert main(["bench", "--diff", str(tmp_path / "a.json"), str(tmp_path / "b.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bench_smoke_writes_report(self, tmp_path, capsys, monkeypatch):
+        # Shrink the matrix so the CLI path stays fast: one 1-D case.
+        monkeypatch.setattr(bench, "WORKLOADS", (bench.WORKLOADS[0],))
+        monkeypatch.setattr(bench, "ERROR_BOUNDS", (1e-3,))
+        out = tmp_path / "BENCH_pipeline.json"
+        rc = main(["bench", "--smoke", "-o", str(out), "--repeats", "1", "--label", "ci"])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == bench.SCHEMA
+        assert doc["label"] == "ci"
+        assert "wrote" in capsys.readouterr().out

@@ -26,7 +26,7 @@ total_raw = 0
 total_comp = 0
 blobs = []
 for m, field in enumerate(ensemble):
-    blob = repro.compress(field, eb=EB, mode="cr")
+    blob = repro.compress(field, eb=EB)  # cuSZ-Hi-CR, the default codec
     recon = repro.decompress(blob)
     blobs.append(blob)
     total_raw += field.nbytes

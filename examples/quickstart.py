@@ -25,7 +25,8 @@ print(f"field: {field.shape} {field.dtype}, range [{field.min():.3g}, {field.max
 
 # 2. Compress with the ratio-preferred and throughput-preferred modes.
 for mode in ("cr", "tp"):
-    blob = repro.compress(field, eb=1e-3, mode=mode)
+    request = repro.api.build_request(mode=mode, eb=1e-3)
+    blob = repro.api.compress(field, request).blob
     recon = repro.decompress(blob)
 
     # 3. The guarantee of Eq. 1: every point within the absolute bound.

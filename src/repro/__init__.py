@@ -13,41 +13,50 @@ True
 >>> blob.compression_ratio > 5
 True
 
-The top-level helpers cover the common path; the subpackages expose the full
-system: ``repro.core`` (cuSZ-Hi engine + container), ``repro.predictor``
-(interpolation/Lorenzo/offset decomposition), ``repro.encoders`` (the
-lossless component zoo and pipelines), ``repro.baselines`` (cuSZ-L/I/IB,
-cuSZp2, cuZFP, FZ-GPU), ``repro.gpu`` (simulated device + roofline model),
-``repro.datasets``, ``repro.metrics``, and ``repro.analysis``.
+The canonical contract lives in :mod:`repro.api`: build a
+:class:`~repro.api.CompressionRequest` (one codec name, one error-bound
+spec, one tiling spec, one pipeline spec) and dispatch it through the codec
+registry::
+
+    import repro.api as api
+    result = api.compress(field, api.build_request(codec="fzgpu", eb=1e-3))
+    recon  = api.decompress(result.blob)
+
+The top-level :func:`compress`/:func:`decompress` helpers cover the common
+path (and keep the pre-1.4 keyword surface alive as deprecation shims); the
+subpackages expose the full system: ``repro.core`` (cuSZ-Hi engine +
+container), ``repro.predictor``, ``repro.encoders``, ``repro.baselines``,
+``repro.gpu``, ``repro.datasets``, ``repro.metrics``, ``repro.analysis``,
+``repro.service`` (batch archives) and ``repro.server`` (HTTP service).
+Heavy subpackages (``analysis``, ``baselines``, ``server``, ``service``)
+import lazily on first attribute access, so ``import repro`` stays light.
 """
 
 from __future__ import annotations
 
+import importlib
+import warnings as _warnings
+
 import numpy as _np
 
-from . import (
-    analysis,
-    baselines,
-    core,
-    datasets,
-    encoders,
-    gpu,
-    metrics,
-    predictor,
-    quantizer,
-    server,
-    service,
-)
+from . import api, core, datasets, encoders, gpu, metrics, predictor, quantizer
 from .core.compressor import CuszHi
 from .core.config import CR_MODE, TP_MODE, CuszHiConfig
 from .core.container import CompressedBlob, ContainerError
 from .core.registry import codec_class, codec_name, list_codecs
 
-__version__ = "1.3.0"
+#: single version source: the CLI (``repro --version``), the HTTP service
+#: (``GET /healthz``) and packaging all report this string.
+__version__ = "1.4.0"
+
+#: heavy subpackages imported lazily via module ``__getattr__`` — keeping
+#: ``import repro`` free of asyncio/http (server) and the baseline zoo.
+_LAZY_SUBPACKAGES = ("analysis", "baselines", "server", "service")
 
 __all__ = [
     "compress",
     "decompress",
+    "api",
     "CuszHi",
     "CuszHiConfig",
     "CR_MODE",
@@ -55,6 +64,7 @@ __all__ = [
     "CompressedBlob",
     "ContainerError",
     "list_codecs",
+    "codec_class",
     "codec_name",
     "analysis",
     "baselines",
@@ -70,66 +80,88 @@ __all__ = [
 ]
 
 
+def __getattr__(name: str):
+    if name in _LAZY_SUBPACKAGES:
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module  # cache: subsequent access skips this hook
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_SUBPACKAGES))
+
+
 def compress(
     data,
-    eb: float,
-    mode: str = "cr",
+    eb: float | None = None,
+    mode: str | None = None,
     codec: str | None = None,
     tile_shape: tuple[int, ...] | None = None,
     workers: int = 0,
     executor: str | None = None,
+    request: "api.CompressionRequest | None" = None,
 ):
-    """Compress a float field under a value-range-relative error bound.
+    """Compress a float field; returns the :class:`CompressedBlob`.
 
-    Parameters
-    ----------
-    data:
-        float32/float64 ndarray (1-D to 4-D).
-    eb:
-        value-range-relative error bound (paper convention; e.g. ``1e-3``).
-    mode:
-        ``"cr"`` (compression-ratio preferred) or ``"tp"`` (throughput
-        preferred) — the two cuSZ-Hi modes.
-    codec:
-        optionally a baseline name (``"cusz-l"``, ``"cusz-i"``, ``"cusz-ib"``,
-        ``"cuszp2"``, ``"fzgpu"``) instead of cuSZ-Hi.
-    tile_shape:
-        split the field into tiles of this shape and compress them
-        concurrently into a multi-tile frame (see :mod:`repro.core.tiling`);
-        cuSZ-Hi only.
-    workers:
-        tile-parallel worker count (0 = auto-size to the CPU count).
-    executor:
-        ``"serial"`` | ``"threads"`` | ``"processes"`` (default ``"threads"``
-        when ``tile_shape`` is given).
+    The blessed forms are ``compress(data, eb)`` for the paper-default
+    cuSZ-Hi-CR path and ``compress(data, request=...)`` with a
+    :class:`repro.api.CompressionRequest` for everything else (use
+    :func:`repro.api.compress` when you want the full
+    :class:`~repro.api.CompressionResult` instead of just the blob).
 
-    Returns
-    -------
-    CompressedBlob
-        self-describing stream; ``blob.to_bytes()`` serializes it.
+    .. deprecated:: 1.4
+        The ``mode``/``codec``/``tile_shape``/``workers``/``executor``
+        keywords are shims over the request contract and emit
+        ``DeprecationWarning``; build a request instead::
+
+            api.build_request(codec="fzgpu", eb=1e-3)
+            api.build_request(mode="tp", eb=1e-3, tiles=(128,)*3, workers=4)
     """
-    if codec is not None:
-        if tile_shape is not None:
-            raise ValueError("tiling is only supported for the cuSZ-Hi codecs")
-        from .analysis.harness import make_compressor
-
-        return make_compressor(codec).compress(data, eb)
-    if tile_shape is None:
-        if executor is not None or workers:
-            raise ValueError("workers/executor require tile_shape")
-        return CuszHi(mode=mode).compress(data, eb)
-    comp = CuszHi(
-        mode=mode,
-        tile_shape=tuple(tile_shape),
-        workers=workers,
-        executor=executor or "threads",
+    if request is not None:
+        # A request is self-contained: any keyword alongside it (including
+        # eb — the request already carries its bound) is a conflict, never
+        # silently ignored.
+        if (
+            eb is not None
+            or mode is not None
+            or codec is not None
+            or tile_shape is not None
+            or workers
+            or executor
+        ):
+            raise api.RequestError("pass either a request or legacy keywords, not both")
+        return api.compress(data, request).blob
+    legacy = {
+        "mode": mode,
+        "codec": codec,
+        "tile_shape": tile_shape,
+        "workers": workers or None,
+        "executor": executor,
+    }
+    if eb is None:
+        # eb was a required positional before 1.4; keep the hard failure so
+        # nobody silently compresses under a bound they never chose.
+        raise TypeError("compress() missing the error bound: pass eb= (or a request=)")
+    used = [k for k, v in legacy.items() if v is not None]
+    if used:
+        _warnings.warn(
+            f"repro.compress({', '.join(f'{k}=...' for k in used)}) is deprecated; "
+            "build a repro.api.CompressionRequest (repro.api.build_request) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    req = api.build_request(
+        codec=codec,
+        mode=None if codec is not None else mode,
+        eb=eb,
+        tiles=tuple(tile_shape) if tile_shape is not None else None,
+        workers=workers or None,
+        executor=executor,
     )
-    return comp.compress(data, eb)
+    return api.compress(data, req).blob
 
 
 def decompress(blob) -> "_np.ndarray":
     """Decompress a :class:`CompressedBlob` or its serialized ``bytes``."""
-    if isinstance(blob, (bytes, bytearray, memoryview)):
-        blob = CompressedBlob.from_bytes(bytes(blob))
-    cls = codec_class(blob.codec)
-    return cls().decompress(blob)
+    return api.decompress(blob)

@@ -13,8 +13,8 @@ from typing import Callable
 
 import numpy as np
 
-from ..baselines import CuszI, CuszIB, CuszL, CuszP2, CuZfp, FzGpu
-from ..core.compressor import CuszHi
+from ..api import UnknownCodecError, registry
+from ..baselines import CuZfp
 from ..gpu.costmodel import throughput_gibs
 from ..gpu.device import DeviceSpec
 from ..metrics import max_abs_error, psnr
@@ -28,26 +28,61 @@ __all__ = [
     "run_fixed_rate_case",
 ]
 
-#: §6.1.2 evaluation line-up (cuZFP is handled by rate, not eb)
-COMPRESSOR_FACTORIES: dict[str, Callable[[], object]] = {
-    "cusz-hi-cr": lambda: CuszHi(mode="cr"),
-    "cusz-hi-tp": lambda: CuszHi(mode="tp"),
-    "cusz-l": CuszL,
-    "cusz-i": CuszI,
-    "cusz-ib": CuszIB,
-    "cuszp2": CuszP2,
-    "fzgpu": FzGpu,
-}
+
+class _RegistryFactories:
+    """Mapping facade over the unified codec registry (back-compat shape:
+    the old module-level dict of factories, now sourced from one place).
+
+    Iteration covers the *fixed-error-bound* line-up — every registered
+    codec whose capabilities declare ``error_bounded`` (cuZFP is rate-driven
+    and handled by :func:`run_fixed_rate_case`, §6.2.1)."""
+
+    def _names(self) -> list[str]:
+        return [n for n in registry.names() if registry.capabilities(n).error_bounded]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names()
+
+    def __iter__(self):
+        return iter(self._names())
+
+    def keys(self):
+        return self._names()
+
+    def __getitem__(self, name: str) -> Callable[[], object]:
+        if name not in self._names():
+            # Fail at subscript time like the dict this facade replaced —
+            # never hand out a factory that explodes at some later call site.
+            raise KeyError(f"unknown compressor {name!r}; known: {self._names()}")
+        return lambda: make_compressor(name)
+
+
+#: §6.1.2 evaluation line-up, sourced from the unified codec registry
+COMPRESSOR_FACTORIES = _RegistryFactories()
 
 #: fixed-eb compressor column order of Table 4
 EVAL_ORDER = ("cusz-hi-cr", "cusz-hi-tp", "cusz-l", "cusz-i", "cusz-ib", "cuszp2", "fzgpu")
 
 
 def make_compressor(name: str):
+    """Kernel-level compressor (``compress(data, eb)``) for a codec name.
+
+    Resolution goes through :data:`repro.api.registry`, so any newly
+    registered *error-bounded* codec is immediately benchable here with no
+    extra wiring.  Fixed-rate codecs (cuzfp) are rejected: their kernels
+    would silently ignore the ``eb`` argument this harness passes — use
+    :func:`run_fixed_rate_case` for those.
+    """
     try:
-        return COMPRESSOR_FACTORIES[name]()
-    except KeyError:
-        raise KeyError(f"unknown compressor {name!r}; known: {sorted(COMPRESSOR_FACTORIES)}") from None
+        codec = registry.get(name)
+    except UnknownCodecError:
+        raise KeyError(f"unknown compressor {name!r}; known: {registry.names()}") from None
+    if not codec.capabilities().error_bounded:
+        raise KeyError(
+            f"compressor {name!r} is fixed-rate (it cannot honor an error bound); "
+            "use run_fixed_rate_case instead"
+        )
+    return codec.kernel()
 
 
 @dataclass

@@ -1,0 +1,238 @@
+"""Protocol adapters: every compressor in the repo behind the one
+``Codec`` contract.
+
+Importing this module populates the :data:`~repro.api.registry.registry`
+singleton (the registry triggers the import lazily on first lookup):
+
+* the cuSZ-Hi engine family (``cusz-hi-cr``, ``cusz-hi-tp``, ``cusz-hi``,
+  plus the wire-only ``cusz-hi-tiled``) via :class:`EngineCodec`, which
+  maps the request's error-bound/tiling/pipeline specs onto a
+  :class:`~repro.core.config.CuszHiConfig`;
+* the five baselines (``cusz-l``, ``cusz-i``, ``cusz-ib``, ``cuszp2``,
+  ``fzgpu``) via :class:`BaselineCodec`, which forwards codec ``options``
+  into the kernel constructor;
+* fixed-rate ``cuzfp`` via :class:`FixedRateCodec` (requires a ``rate``
+  option; it cannot honor an error bound).
+
+Adapters also expose :meth:`~EngineCodec.kernel`, the configured
+kernel-level compressor (``compress(data, eb)``) that streaming and the
+analysis harness still build on.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .registry import CapabilityError, CodecCapabilities, CodecEntry, CODEC_IDS, registry
+from .request import CompressionRequest, CompressionResult, RequestError
+
+__all__ = ["EngineCodec", "BaselineCodec", "FixedRateCodec"]
+
+ENGINE_CAPABILITIES = CodecCapabilities(
+    dims=(1, 2, 3, 4), tiling=True, pipelines=True
+)
+BASELINE_CAPABILITIES = CodecCapabilities(dims=(1, 2, 3))
+FIXED_RATE_CAPABILITIES = CodecCapabilities(
+    dims=(1, 2, 3), streaming=False, error_bounded=False
+)
+
+
+class _AdapterBase:
+    """Shared request plumbing: validate, time, wrap the result."""
+
+    name: str
+    capabilities_spec: CodecCapabilities
+
+    def capabilities(self) -> CodecCapabilities:
+        return self.capabilities_spec
+
+    def compress(self, request: CompressionRequest) -> CompressionResult:
+        if not isinstance(request, CompressionRequest):
+            raise RequestError(
+                f"codec {self.name!r} takes a CompressionRequest, got {type(request).__name__}"
+            )
+        if request.data is None:
+            raise RequestError(
+                f"request for codec {self.name!r} carries no data "
+                "(attach the field with request.with_data(array))"
+            )
+        if request.codec != self.name:
+            # A mismatched dispatch would validate against the *named*
+            # codec's capabilities while executing this one's kernel.
+            raise RequestError(
+                f"request names codec {request.codec!r} but was dispatched "
+                f"to {self.name!r}; route it through repro.api.compress"
+            )
+        data = np.asarray(request.data)
+        registry.validate_request(request, data=data)
+        t0 = time.perf_counter()
+        blob = self.kernel(request).compress(data, request.error_bound.value)
+        return CompressionResult(
+            blob=blob,
+            codec=self.name,
+            request=request.without_data(),
+            wall_s=time.perf_counter() - t0,
+        )
+
+    def decompress(self, blob) -> np.ndarray:
+        """Blob-driven reconstruction (all adapters decode any config their
+        kernel family produced)."""
+        return self.kernel().decompress(blob)
+
+    def kernel(self, request: CompressionRequest | None = None):
+        raise NotImplementedError
+
+
+class EngineCodec(_AdapterBase):
+    """The cuSZ-Hi engine behind the protocol: request specs -> config."""
+
+    capabilities_spec = ENGINE_CAPABILITIES
+
+    def __init__(self, name: str, base_config=None):
+        from ..core.config import CuszHiConfig
+
+        self.name = name
+        self._base = base_config if base_config is not None else CuszHiConfig()
+
+    def kernel(self, request: CompressionRequest | None = None):
+        """A :class:`~repro.core.compressor.CuszHi` configured per request."""
+        from ..core.compressor import CuszHi
+
+        cfg = self._base
+        if request is not None:
+            if request.options:
+                # The engine has no option knobs; dropping them silently
+                # would hide typos and stale carry-overs from baseline
+                # requests rebuilt onto the engine family.
+                raise CapabilityError(
+                    f"codec {self.name!r} accepts no options; "
+                    f"got {sorted(dict(request.options))}"
+                )
+            cfg = cfg.with_(eb_mode=request.error_bound.mode)
+            if request.pipeline is not None:
+                cfg = cfg.with_(pipeline=request.pipeline.name)
+            if request.tiling is not None:
+                cfg = cfg.with_(
+                    tile_shape=request.tiling.tiles,
+                    workers=request.tiling.workers,
+                    executor=request.tiling.executor or "threads",
+                )
+        return CuszHi(config=cfg)
+
+
+class BaselineCodec(_AdapterBase):
+    """An error-bounded baseline kernel behind the protocol.
+
+    Request ``options`` forward into the kernel constructor (e.g.
+    ``{"block": 64}`` or ``{"mode": "plain"}`` for cuSZp2), so codec knobs
+    plug in without a new request field per codec.
+    """
+
+    capabilities_spec = BASELINE_CAPABILITIES
+
+    def __init__(self, name: str, factory):
+        self.name = name
+        self._factory = factory
+
+    def kernel(self, request: CompressionRequest | None = None):
+        kwargs = {}
+        if request is not None:
+            kwargs["eb_mode"] = request.error_bound.mode
+            kwargs.update(dict(request.options))
+        try:
+            return self._factory(**kwargs)
+        except (TypeError, ValueError) as exc:
+            raise CapabilityError(f"codec {self.name!r} rejected its options: {exc}") from None
+
+
+class FixedRateCodec(_AdapterBase):
+    """A fixed-rate kernel (cuzfp): a ``rate`` option replaces the bound."""
+
+    capabilities_spec = FIXED_RATE_CAPABILITIES
+
+    def __init__(self, name: str, factory):
+        self.name = name
+        self._factory = factory
+
+    def compress(self, request: CompressionRequest) -> CompressionResult:
+        if request.option("rate") is None:
+            raise CapabilityError(
+                f"codec {request.codec!r} is fixed-rate and cannot honor an error "
+                "bound; pass options={'rate': bits_per_value} instead"
+            )
+        return super().compress(request)
+
+    def kernel(self, request: CompressionRequest | None = None):
+        rate = request.option("rate", 8.0) if request is not None else 8.0
+        kernel = self._factory(rate=float(rate))
+        # The kernel's second positional arg is the rate, not a bound; the
+        # adapter pins it at construction so the shared compress() path
+        # (which passes the bound value) cannot override it.
+        kernel = _FixedRateShell(kernel)
+        return kernel
+
+
+class _FixedRateShell:
+    """Drops the (meaningless) bound argument before a fixed-rate kernel."""
+
+    def __init__(self, kernel):
+        self._kernel = kernel
+
+    def compress(self, data, eb=None):
+        return self._kernel.compress(data)
+
+    def decompress(self, blob):
+        return self._kernel.decompress(blob)
+
+    def __getattr__(self, attr):
+        return getattr(self._kernel, attr)
+
+
+def _engine_entry(name: str, internal: bool = False) -> CodecEntry:
+    def factory(name=name):
+        from ..core.config import CuszHiConfig
+        from ..encoders.pipelines import CR_PIPELINE, TP_PIPELINE
+
+        base = CuszHiConfig()
+        if name == "cusz-hi-tp":
+            base = base.with_(pipeline=TP_PIPELINE)
+        elif name in ("cusz-hi-cr", "cusz-hi-tiled"):
+            base = base.with_(pipeline=CR_PIPELINE)
+        return EngineCodec(name, base)
+
+    return CodecEntry(name, CODEC_IDS[name], factory, ENGINE_CAPABILITIES, internal=internal)
+
+
+def _baseline_entry(name: str) -> CodecEntry:
+    def factory(name=name):
+        from .. import baselines
+
+        kernels = {
+            "cusz-l": baselines.CuszL,
+            "cusz-i": baselines.CuszI,
+            "cusz-ib": baselines.CuszIB,
+            "cuszp2": baselines.CuszP2,
+            "fzgpu": baselines.FzGpu,
+        }
+        return BaselineCodec(name, kernels[name])
+
+    return CodecEntry(name, CODEC_IDS[name], factory, BASELINE_CAPABILITIES)
+
+
+def _fixed_rate_entry(name: str) -> CodecEntry:
+    def factory(name=name):
+        from ..baselines import CuZfp
+
+        return FixedRateCodec(name, CuZfp)
+
+    return CodecEntry(name, CODEC_IDS[name], factory, FIXED_RATE_CAPABILITIES)
+
+
+for _name in ("cusz-hi-cr", "cusz-hi-tp", "cusz-hi"):
+    registry.add(_engine_entry(_name))
+registry.add(_engine_entry("cusz-hi-tiled", internal=True))
+for _name in ("cusz-l", "cusz-i", "cusz-ib", "cuszp2", "fzgpu"):
+    registry.add(_baseline_entry(_name))
+registry.add(_fixed_rate_entry("cuzfp"))

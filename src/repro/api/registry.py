@@ -1,0 +1,375 @@
+"""The unified codec registry: one table from codec *names* to everything
+the system knows about them.
+
+This module absorbs the old ``repro.core.registry`` (which only mapped
+numeric wire ids to compressor classes) and adds the protocol layer the
+rest of the system dispatches through:
+
+* :data:`CODEC_IDS` — the **stable** name -> wire-id table persisted in
+  every container header (never renumber, only append);
+* :func:`register_kernel` — class decorator binding a kernel-level
+  compressor class (``compress(data, eb)`` / ``decompress(blob)``) to its
+  wire id, exactly the old ``core.registry.register_codec`` contract;
+* :func:`register_codec` — class decorator registering a :class:`Codec`
+  protocol implementation (``compress(request) -> CompressionResult``)
+  under its string name with declared :class:`CodecCapabilities`;
+* :class:`CodecRegistry` / the module-level :data:`registry` singleton —
+  lookup by name (:meth:`CodecRegistry.get`), capability validation
+  (:meth:`CodecRegistry.validate_request`) and the capabilities table the
+  ``/codecs`` endpoint and the docs serve.
+
+Errors are typed and always name the offending codec:
+:class:`UnknownCodecError` (a ``KeyError``) for missing names/ids,
+:class:`CapabilityError` (a ``ValueError``) for requests a codec cannot
+honor (wrong dimensionality, unsupported tiling, ...).
+
+The registry table (auto-generated; the docs embed this doctest so the
+table cannot rot):
+
+>>> from repro.api import registry
+>>> print(registry.markdown_table())  # doctest: +NORMALIZE_WHITESPACE
+| codec      | id | dims    | tiling | pipelines | error-bounded |
+|------------|----|---------|--------|-----------|---------------|
+| cusz-hi    |  3 | 1-4     | yes    | yes       | yes           |
+| cusz-hi-cr |  1 | 1-4     | yes    | yes       | yes           |
+| cusz-hi-tp |  2 | 1-4     | yes    | yes       | yes           |
+| cusz-i     | 11 | 1-3     | no     | no        | yes           |
+| cusz-ib    | 12 | 1-3     | no     | no        | yes           |
+| cusz-l     | 10 | 1-3     | no     | no        | yes           |
+| cuszp2     | 20 | 1-3     | no     | no        | yes           |
+| cuzfp      | 30 | 1-3     | no     | no        | no            |
+| fzgpu      | 40 | 1-3     | no     | no        | yes           |
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, runtime_checkable
+
+from .request import CompressionRequest, CompressionResult
+
+__all__ = [
+    "CODEC_IDS",
+    "UnknownCodecError",
+    "CapabilityError",
+    "Codec",
+    "CodecCapabilities",
+    "CodecEntry",
+    "CodecRegistry",
+    "registry",
+    "register_codec",
+    "register_kernel",
+    "register_kernel_class",
+    "codec_class",
+    "codec_name",
+    "list_codecs",
+]
+
+#: stable wire ids — never renumber, only append
+CODEC_IDS = {
+    "cusz-hi-cr": 1,
+    "cusz-hi-tp": 2,
+    "cusz-hi": 3,  # custom-config cuSZ-Hi
+    "cusz-hi-tiled": 4,  # multi-tile parallel frame (repro.core.tiling)
+    "cusz-l": 10,
+    "cusz-i": 11,
+    "cusz-ib": 12,
+    "cuszp2": 20,
+    "cuzfp": 30,
+    "fzgpu": 40,
+}
+
+_NAME_BY_ID = {v: k for k, v in CODEC_IDS.items()}
+
+
+class UnknownCodecError(KeyError):
+    """A codec name or wire id that nothing has registered."""
+
+    def __str__(self) -> str:  # KeyError would repr()-quote the message
+        return self.args[0] if self.args else ""
+
+
+class CapabilityError(TypeError, ValueError):
+    """A structurally valid request that the named codec cannot honor.
+
+    Inherits both ``TypeError`` and ``ValueError``: the pre-unification
+    layers raised ``TypeError`` for dtype mismatches and ``ValueError`` for
+    tiling/pipeline misuse, and existing catch sites of either kind must
+    keep working.
+    """
+
+
+@runtime_checkable
+class Codec(Protocol):
+    """The one contract every compressor speaks.
+
+    ``compress`` takes a :class:`~repro.api.request.CompressionRequest`
+    carrying the data and returns a
+    :class:`~repro.api.request.CompressionResult`; ``decompress`` takes a
+    container blob; ``capabilities`` reports what inputs/options the codec
+    supports so callers can validate before dispatching.
+    """
+
+    name: str
+
+    def compress(self, request: CompressionRequest) -> CompressionResult: ...
+
+    def decompress(self, blob): ...
+
+    def capabilities(self) -> "CodecCapabilities": ...
+
+
+@dataclass(frozen=True)
+class CodecCapabilities:
+    """What a codec can consume — the contract :meth:`CodecRegistry.
+    validate_request` enforces before any compute is spent."""
+
+    #: supported input dimensionalities
+    dims: tuple[int, ...] = (1, 2, 3)
+    #: supported input dtypes (numpy names)
+    dtypes: tuple[str, ...] = ("float32", "float64")
+    #: accepts a TilingSpec (multi-tile parallel frames)
+    tiling: bool = False
+    #: usable as a StreamWriter kernel (absolute-bound snapshot streams)
+    streaming: bool = True
+    #: honors an error bound (False = fixed-rate codecs like cuzfp)
+    error_bounded: bool = True
+    #: accepts a PipelineSpec lossless-pipeline override
+    pipelines: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "dims": list(self.dims),
+            "dtypes": list(self.dtypes),
+            "tiling": self.tiling,
+            "streaming": self.streaming,
+            "error_bounded": self.error_bounded,
+            "pipelines": self.pipelines,
+        }
+
+
+@dataclass(frozen=True)
+class CodecEntry:
+    """One registry row: identity, wire id, factory and capabilities."""
+
+    name: str
+    codec_id: int
+    factory: Callable[[], Codec]
+    capabilities: CodecCapabilities = field(default_factory=CodecCapabilities)
+    #: internal entries (wire-only ids like ``cusz-hi-tiled``) are resolvable
+    #: by id for decoding but hidden from the user-facing listing
+    internal: bool = False
+
+
+class CodecRegistry:
+    """String-keyed codec registry with capability validation.
+
+    Entries self-register at import time of :mod:`repro.api.adapters`;
+    every lookup triggers that import lazily so ``import repro`` stays
+    light (no baseline modules until a codec is actually used).
+    """
+
+    def __init__(self):
+        self._entries: dict[str, CodecEntry] = {}
+        self._kernels: dict[int, type] = {}
+        self._loaded = False
+
+    # -------------------------------------------------------------- loading
+    def _ensure_loaded(self) -> None:
+        """Load the *entry* table (names, ids, capabilities, factories).
+
+        Deliberately cheap: :mod:`repro.api.adapters` registers every entry
+        without importing any kernel module — baselines and the engine load
+        lazily inside the factories, so validating or listing codecs never
+        pulls in compute code the caller won't use.
+        """
+        if self._loaded:
+            return
+        self._loaded = True
+        from . import adapters  # noqa: F401  (self-registration on import)
+
+    def _ensure_kernels_loaded(self) -> None:
+        """Load the kernel dispatch table (wire id -> class) — needed only
+        for blob-driven decode; importing the modules self-registers them."""
+        from .. import baselines  # noqa: F401
+        from ..core import compressor  # noqa: F401
+
+    # ---------------------------------------------------------- registration
+    def add(self, entry: CodecEntry) -> None:
+        self._entries[entry.name] = entry
+
+    def register(
+        self,
+        name: str,
+        capabilities: CodecCapabilities | None = None,
+        internal: bool = False,
+    ):
+        """Decorator: register a :class:`Codec` class under ``name``.
+
+        The class gets ``name`` stamped onto it and is instantiated
+        per :meth:`get` call with ``cls()``.
+        """
+        if name not in CODEC_IDS:
+            raise UnknownCodecError(
+                f"codec {name!r} has no wire id in CODEC_IDS; append one first"
+            )
+
+        def deco(cls):
+            caps = capabilities or getattr(cls, "CAPABILITIES", None) or CodecCapabilities()
+            cls.name = name
+            self.add(CodecEntry(name, CODEC_IDS[name], cls, caps, internal=internal))
+            return cls
+
+        return deco
+
+    def register_kernel_class(self, name: str, cls: type, stamp: bool = True) -> type:
+        """Bind a kernel-level compressor class to ``name``'s wire id (the
+        old ``core.registry`` contract; powers blob-driven decode dispatch).
+
+        ``stamp=False`` skips writing ``codec_id``/``codec_name`` class
+        attributes — for classes bound to several ids that derive their id
+        dynamically (the cuSZ-Hi engine's ``codec_id`` property).
+        """
+        if name not in CODEC_IDS:
+            raise UnknownCodecError(f"codec {name!r} missing from CODEC_IDS")
+        if stamp:
+            cls.codec_id = CODEC_IDS[name]
+            cls.codec_name = name
+        self._kernels[CODEC_IDS[name]] = cls
+        return cls
+
+    # --------------------------------------------------------------- lookups
+    def names(self) -> list[str]:
+        """Registered user-facing codec names, sorted."""
+        self._ensure_loaded()
+        return sorted(n for n, e in self._entries.items() if not e.internal)
+
+    def entry(self, name: str) -> CodecEntry:
+        self._ensure_loaded()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownCodecError(
+                f"unknown codec {name!r}; registered codecs: {self.names()}"
+            ) from None
+
+    def get(self, name: str) -> Codec:
+        """A fresh protocol codec instance for ``name``."""
+        return self.entry(name).factory()
+
+    def capabilities(self, name: str) -> CodecCapabilities:
+        return self.entry(name).capabilities
+
+    def kernel_class(self, codec_id: int) -> type:
+        """Resolve a wire id to its kernel-level compressor class."""
+        if codec_id not in self._kernels:
+            self._ensure_kernels_loaded()
+        try:
+            return self._kernels[codec_id]
+        except KeyError:
+            raise UnknownCodecError(
+                f"no codec registered for id {codec_id} "
+                f"(codec {codec_name(codec_id)!r}); the stream is undecodable here"
+            ) from None
+
+    # ------------------------------------------------------------ validation
+    def validate_request(self, request: CompressionRequest, data=None) -> CodecEntry:
+        """Check ``request`` (and optionally its ``data``) against the named
+        codec's declared capabilities; raises typed errors naming the codec."""
+        entry = self.entry(request.codec)
+        caps = entry.capabilities
+        if request.tiling is not None and not caps.tiling:
+            raise CapabilityError(
+                f"tiles are only supported by the tiled cuSZ-Hi engine; "
+                f"codec {request.codec!r} does not support tiling"
+            )
+        if request.pipeline is not None and not caps.pipelines:
+            raise CapabilityError(
+                f"codec {request.codec!r} does not accept a pipeline override"
+            )
+        if data is None:
+            data = request.data
+        if data is not None:
+            if data.ndim not in caps.dims:
+                raise CapabilityError(
+                    f"codec {request.codec!r} supports {_dims_label(caps.dims)}-D input, "
+                    f"got a {data.ndim}-D field of shape {tuple(data.shape)}"
+                )
+            if data.dtype.name not in caps.dtypes:
+                raise CapabilityError(
+                    f"codec {request.codec!r} supports dtypes {caps.dtypes}, "
+                    f"got {data.dtype.name}"
+                )
+        return entry
+
+    # ----------------------------------------------------------------- table
+    def table(self) -> dict[str, dict]:
+        """``{name: capabilities + wire id}`` (the ``/codecs`` endpoint body)."""
+        self._ensure_loaded()
+        return {
+            name: {"id": self._entries[name].codec_id, **self._entries[name].capabilities.to_dict()}
+            for name in self.names()
+        }
+
+    def markdown_table(self) -> str:
+        """The registry as a Markdown table (docs embed this via doctest)."""
+        rows = [
+            "| codec      | id | dims    | tiling | pipelines | error-bounded |",
+            "|------------|----|---------|--------|-----------|---------------|",
+        ]
+        for name in self.names():
+            e = self._entries[name]
+            c = e.capabilities
+            rows.append(
+                f"| {name:<10} | {e.codec_id:>2} | {_dims_label(c.dims):<7} "
+                f"| {'yes' if c.tiling else 'no':<6} | {'yes' if c.pipelines else 'no':<9} "
+                f"| {'yes' if c.error_bounded else 'no':<13} |"
+            )
+        return "\n".join(rows)
+
+
+def _dims_label(dims: tuple[int, ...]) -> str:
+    return f"{min(dims)}-{max(dims)}" if len(dims) > 1 else str(dims[0])
+
+
+#: the process-wide registry every layer dispatches through
+registry = CodecRegistry()
+
+
+def register_codec(
+    name: str, capabilities: CodecCapabilities | None = None, internal: bool = False
+):
+    """Class decorator: register a protocol codec (``@register_codec("x")``)."""
+    return registry.register(name, capabilities=capabilities, internal=internal)
+
+
+def register_kernel(name: str):
+    """Class decorator binding a kernel-level compressor class to its wire id
+    (the old ``core.registry.register_codec`` contract, kept verbatim)."""
+
+    def deco(cls):
+        return registry.register_kernel_class(name, cls)
+
+    return deco
+
+
+def register_kernel_class(name: str, cls: type, stamp: bool = True) -> type:
+    """Function form of :func:`register_kernel` (engine modules that bind one
+    class to several wire ids use this)."""
+    return registry.register_kernel_class(name, cls, stamp=stamp)
+
+
+# ------------------------------------------------------- wire-id conveniences
+def codec_class(codec_id: int) -> type:
+    """Resolve a wire id to its kernel compressor class (imports lazily)."""
+    return registry.kernel_class(codec_id)
+
+
+def codec_name(codec_id: int) -> str:
+    """Human-readable name for a wire id (``unknown-N`` when unregistered)."""
+    return _NAME_BY_ID.get(codec_id, f"unknown-{codec_id}")
+
+
+def list_codecs() -> dict[str, int]:
+    """A copy of the stable name -> wire-id table."""
+    return dict(CODEC_IDS)

@@ -16,7 +16,7 @@ import numpy as np
 from ..core.compressor import CuszHi
 from ..core.config import CuszHiConfig
 from ..core.container import CompressedBlob
-from ..core.registry import register_codec
+from ..api.registry import register_kernel
 
 __all__ = ["CuszI", "CuszIB", "CUSZ_I_CONFIG", "CUSZ_IB_CONFIG"]
 
@@ -61,14 +61,14 @@ class _FixedConfigCusz:
         return self._inner.decompress(blob)
 
 
-@register_codec("cusz-i")
+@register_kernel("cusz-i")
 class CuszI(_FixedConfigCusz):
     """Interpolation + Huffman (cuSZ-I)."""
 
     _config = CUSZ_I_CONFIG
 
 
-@register_codec("cusz-ib")
+@register_kernel("cusz-ib")
 class CuszIB(_FixedConfigCusz):
     """Interpolation + Huffman + Bitcomp (cuSZ-IB)."""
 

@@ -16,13 +16,13 @@ from ..gpu.kernel import KernelTrace
 from ..predictor.lorenzo import lorenzo_decode, lorenzo_encode
 from ..quantizer.folding import fold_residuals, unfold_residuals
 from ..core.container import CompressedBlob
-from ..core.registry import register_codec
+from ..api.registry import register_kernel
 from ..core.compressor import resolve_error_bound
 
 __all__ = ["CuszL"]
 
 
-@register_codec("cusz-l")
+@register_kernel("cusz-l")
 class CuszL:
     """Lorenzo + Huffman GPU compressor (cuSZ-L)."""
 

@@ -19,12 +19,12 @@ from ..gpu.kernel import KernelTrace
 from ..predictor.offset1d import offset_decode, offset_encode
 from ..core.compressor import resolve_error_bound
 from ..core.container import CompressedBlob
-from ..core.registry import register_codec
+from ..api.registry import register_kernel
 
 __all__ = ["CuszP2"]
 
 
-@register_codec("cuszp2")
+@register_kernel("cuszp2")
 class CuszP2:
     """Offset-predict + fixed-length encode compressor (cuSZp2)."""
 

@@ -25,7 +25,7 @@ import numpy as np
 
 from ..gpu.kernel import KernelTrace
 from ..core.container import CompressedBlob
-from ..core.registry import register_codec
+from ..api.registry import register_kernel
 
 __all__ = ["CuZfp", "FWD", "INV"]
 
@@ -98,7 +98,7 @@ def _from_negabinary(u: np.ndarray) -> np.ndarray:
     return i.view(np.int32).astype(np.int64)
 
 
-@register_codec("cuzfp")
+@register_kernel("cuzfp")
 class CuZfp:
     """Fixed-rate transform compressor (cuZFP).
 

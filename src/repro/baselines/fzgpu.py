@@ -18,12 +18,12 @@ from ..predictor.lorenzo import lorenzo_decode, lorenzo_encode
 from ..quantizer.folding import fold_residuals, unfold_residuals
 from ..core.compressor import resolve_error_bound
 from ..core.container import CompressedBlob
-from ..core.registry import register_codec
+from ..api.registry import register_kernel
 
 __all__ = ["FzGpu"]
 
 
-@register_codec("fzgpu")
+@register_kernel("fzgpu")
 class FzGpu:
     """Lorenzo + bitshuffle + zero-word elimination compressor (FZ-GPU)."""
 

@@ -105,10 +105,33 @@ def _rss_peak_kb() -> int:
 DEFAULT_REPEATS = 3
 
 
-def _run_case(name: str, eb: float, mode: str, smoke: bool, repeats: int = DEFAULT_REPEATS) -> dict:
-    from .core.compressor import CuszHi
+def _case_key(mode: str, codec: str | None) -> str:
+    """The report key a case is matched on when diffing (back-compat: the
+    default engine runs keep reporting the historical "cr"/"tp" keys)."""
+    if codec is None or codec == f"cusz-hi-{mode}":
+        return mode
+    return codec
+
+
+def _run_case(
+    name: str,
+    eb: float,
+    mode: str,
+    smoke: bool,
+    repeats: int = DEFAULT_REPEATS,
+    codec: str | None = None,
+) -> dict:
+    from .api import build_request, compress as api_compress, decompress as api_decompress, registry
     from .core.container import CompressedBlob
 
+    # Every matrix case is one CompressionRequest through the unified API,
+    # so any registered codec (``--codec``) is benchable with no extra code.
+    request = build_request(codec=codec, mode=None if codec is not None else mode, eb=eb)
+    if not registry.capabilities(request.codec).error_bounded:
+        raise ValueError(
+            f"codec {request.codec!r} is not error-bounded; the pipeline matrix "
+            "is a fixed-eb benchmark"
+        )
     data = generate_field(name, smoke=smoke)
     raw_mb = data.nbytes / 1e6
     stages: dict[str, dict] = {}
@@ -131,11 +154,11 @@ def _run_case(name: str, eb: float, mode: str, smoke: bool, repeats: int = DEFAU
 
     digest = None
     for _ in range(max(1, repeats)):
-        comp = CuszHi(mode=mode)
-        blob = stage("compress", lambda: comp.compress(data, eb))
+        result = stage("compress", lambda: api_compress(data, request))
+        blob = result.blob
         payload = stage("serialize", blob.to_bytes)
         blob2 = stage("deserialize", lambda: CompressedBlob.from_bytes(payload))
-        recon = stage("decompress", lambda: comp.decompress(blob2))
+        recon = stage("decompress", lambda: api_decompress(blob2))
         rep_digest = hashlib.sha256(payload).hexdigest()
         if digest is not None and rep_digest != digest:
             raise AssertionError(f"{name} eb={eb}: non-deterministic blob across repeats")
@@ -150,8 +173,9 @@ def _run_case(name: str, eb: float, mode: str, smoke: bool, repeats: int = DEFAU
         "shape": list(data.shape),
         "dtype": data.dtype.name,
         "eb": eb,
-        "eb_mode": "rel",
-        "mode": mode,
+        "eb_mode": request.error_bound.mode,
+        "mode": _case_key(mode, codec),
+        "codec": request.codec,
         "repeats": max(1, repeats),
         "raw_mb": round(raw_mb, 3),
         "compressed_bytes": len(payload),
@@ -167,23 +191,27 @@ def run_pipeline_bench(
     label: str | None = None,
     mode: str = "cr",
     repeats: int = DEFAULT_REPEATS,
+    codec: str | None = None,
 ) -> dict:
     """Run the pinned matrix; returns the ``repro.bench-pipeline/1`` report.
 
     Each case runs ``repeats`` times and reports the per-stage *minimum* wall
     time (noise-robust on shared hosts); blob digests must be identical
     across repeats or the case fails — determinism is part of the contract.
+    ``codec`` routes the matrix through any registered error-bounded codec
+    (default: the cuSZ-Hi engine in ``mode``).
     """
     cases = []
     for wname, _, _ in WORKLOADS:
         for eb in ERROR_BOUNDS:
-            cases.append(_run_case(wname, eb, mode, smoke, repeats=repeats))
+            cases.append(_run_case(wname, eb, mode, smoke, repeats=repeats, codec=codec))
     return {
         "schema": SCHEMA,
         "created_unix": round(time.time(), 3),
         "label": label,
         "smoke": bool(smoke),
-        "mode": mode,
+        "mode": mode if codec is None else _case_key(mode, codec),
+        "codec": codec or f"cusz-hi-{mode}",
         "repeats": max(1, repeats),
         "env": {
             "python": sys.version.split()[0],

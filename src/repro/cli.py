@@ -29,8 +29,17 @@ import sys
 
 import numpy as np
 
+from . import __version__
+from .api import (
+    EXECUTORS,
+    REQUEST_SCHEMA,
+    CapabilityError,
+    RequestError,
+    UnknownCodecError,
+    build_request,
+    codec_name,
+)
 from .core.container import CompressedBlob, ContainerError
-from .core.registry import codec_name
 from .datasets.io import read_raw, write_raw
 
 
@@ -51,19 +60,22 @@ def _cmd_compress(args) -> int:
     if data.ndim == 1 and shape is None:
         print("error: pass -d/--dims (or encode dims in the file name)", file=sys.stderr)
         return 2
-    from . import compress
+    from .api import compress
 
+    # Flags parse into the one canonical request; all defaulting/validation
+    # (eb, tiling, pipeline, codec capabilities) happens in repro.api.
     try:
-        blob = compress(
-            data,
-            eb=args.eb,
-            mode=args.mode,
+        request = build_request(
             codec=args.codec,
-            tile_shape=tuple(args.tiles) if args.tiles else None,
-            workers=args.workers,
+            mode=None if args.codec is not None else args.mode,
+            eb=args.eb,
+            tiles=tuple(args.tiles) if args.tiles else None,
+            workers=args.workers or None,
             executor=args.executor,
+            pipeline=args.pipeline,
         )
-    except ValueError as exc:
+        blob = compress(data, request).blob
+    except (RequestError, CapabilityError, UnknownCodecError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     payload = blob.to_bytes()
@@ -83,9 +95,12 @@ def _cmd_decompress(args) -> int:
         return _fail(f"cannot read {args.input}: {exc.strerror or exc}")
     except ContainerError as exc:
         return _fail(f"{args.input}: {exc}")
-    from . import decompress
+    from .api import decompress
 
-    recon = decompress(blob)
+    try:
+        recon = decompress(blob)
+    except UnknownCodecError as exc:
+        return _fail(f"{args.input}: {exc}")
     write_raw(args.output, recon)
     print(f"{args.input}: wrote {recon.nbytes} bytes to {args.output} (shape {recon.shape})")
     return 0
@@ -119,6 +134,8 @@ def _cmd_bench(args) -> int:
         return _cmd_bench_diff(args)
     if args.pipeline or args.smoke:
         return _cmd_bench_pipeline(args)
+    if args.codec is not None:
+        return _fail("--codec applies to the pipeline matrix; add --pipeline or --smoke")
     from .analysis.harness import EVAL_ORDER, run_case
     from .analysis.tables import format_table
     from .datasets.registry import load
@@ -136,7 +153,12 @@ def _cmd_bench(args) -> int:
 def _cmd_bench_pipeline(args) -> int:
     from .bench import format_report, run_pipeline_bench, write_report
 
-    report = run_pipeline_bench(smoke=args.smoke, label=args.label, repeats=args.repeats)
+    try:
+        report = run_pipeline_bench(
+            smoke=args.smoke, label=args.label, repeats=args.repeats, codec=args.codec
+        )
+    except (RequestError, CapabilityError, UnknownCodecError, ValueError) as exc:
+        return _fail(str(exc))
     try:
         write_report(report, args.output)
     except OSError as exc:
@@ -344,6 +366,12 @@ def _add_command(sub, name: str, help_text: str, doc: str, **kwargs):
 
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    p.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__} (request schema {REQUEST_SCHEMA})",
+        help="print the package version and request-schema version",
+    )
     sub = p.add_subparsers(dest="command", required=True)
 
     pc = _add_command(
@@ -357,7 +385,12 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("-d", "--dims", type=int, nargs="+", default=None)
     pc.add_argument("--eb", type=float, default=1e-3, help="value-range-relative bound")
     pc.add_argument("--mode", choices=("cr", "tp"), default="cr")
-    pc.add_argument("--codec", default=None, help="baseline codec name instead of cuSZ-Hi")
+    pc.add_argument(
+        "--codec",
+        default=None,
+        help="any registered codec name instead of cuSZ-Hi-CR (see `repro bench`"
+        " --help or GET /codecs for the registry)",
+    )
     pc.add_argument(
         "--tiles",
         type=int,
@@ -371,9 +404,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pc.add_argument(
         "--executor",
-        choices=("serial", "threads", "processes"),
+        choices=EXECUTORS,
         default=None,
         help="tile executor (requires --tiles; default: threads)",
+    )
+    pc.add_argument(
+        "--pipeline",
+        default=None,
+        metavar="NAME",
+        help="lossless-pipeline override for the cuSZ-Hi engine"
+        " (e.g. HF, HF+RRE4-TCMS8-RZE1)",
     )
     pc.set_defaults(func=_cmd_compress)
 
@@ -405,6 +445,12 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--dataset", default="nyx")
     pb.add_argument("--eb", type=float, default=1e-3)
     pb.add_argument("--seed", type=int, default=0)
+    pb.add_argument(
+        "--codec",
+        default=None,
+        help="run the --pipeline matrix through one registered codec"
+        " (default: the cuSZ-Hi engine in CR mode)",
+    )
     pb.add_argument(
         "--pipeline",
         action="store_true",
@@ -461,7 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
     pba.add_argument("--report", default=None, help="write the JSON job report here")
     pba.add_argument(
         "--executor",
-        choices=("serial", "threads", "processes"),
+        choices=EXECUTORS,
         default=None,
         help="field-level executor (default: the manifest's job.executor)",
     )

@@ -28,9 +28,9 @@ from ..predictor.interpolation import (
     level_strides,
 )
 from ..predictor.reorder import inverse_reorder, reorder
+from ..api.registry import CODEC_IDS, register_kernel_class
 from .config import CuszHiConfig
 from .container import CompressedBlob
-from .registry import CODEC_IDS, _BY_ID
 
 __all__ = ["CuszHi", "resolve_error_bound"]
 
@@ -69,7 +69,13 @@ def resolve_error_bound(data: np.ndarray, eb: float, eb_mode: str) -> float:
     if not (np.isfinite(mx) and np.isfinite(mn)):
         finite = data[np.isfinite(data)]
         if finite.size == 0:
-            return float(eb)
+            # A relative bound needs a value range; silently treating the
+            # relative eb as absolute here (the old behavior) produced
+            # arbitrarily wrong guarantees for empty/all-NaN fields.
+            raise ValueError(
+                "cannot resolve a relative error bound: the field has no "
+                "finite values (use eb_mode='abs' for empty or all-NaN data)"
+            )
         mx = float(finite.max())
         mn = float(finite.min())
     rng = mx - mn
@@ -302,6 +308,9 @@ class CuszHi:
 
 # Register the class for every cuSZ-Hi id so the dispatcher can route blobs.
 # Tiled frames route through CuszHi.decompress, which detects the tile index
-# and fans the per-tile decode out through the tiling engine.
+# and fans the per-tile decode out through the tiling engine.  (The wire-id
+# dispatch table lives in repro.api.registry; the per-id codec_id/codec_name
+# class attributes are intentionally NOT stamped here — CuszHi derives its id
+# from its config via the codec_id property above.)
 for _name in ("cusz-hi-cr", "cusz-hi-tp", "cusz-hi", "cusz-hi-tiled"):
-    _BY_ID[CODEC_IDS[_name]] = CuszHi
+    register_kernel_class(_name, CuszHi, stamp=False)

@@ -1,63 +1,30 @@
-"""Codec registry: stable numeric ids for the container format and the
-dispatch table used by :func:`repro.decompress`.
+"""Codec registry shim — the implementation moved to :mod:`repro.api.registry`.
 
-Compressor classes self-register at import time via :func:`register_codec`;
-the numeric id is persisted in every :class:`~repro.core.container.
-CompressedBlob` header so a stream is decodable without knowing which
-compressor produced it.
+This module kept its import surface (``CODEC_IDS``, ``register_codec``,
+``codec_class``, ``codec_name``, ``list_codecs``) so existing callers and
+pickled references keep working, but the single source of truth is now the
+unified API registry: string names, wire ids, protocol adapters and
+capability validation all live in one table.  ``register_codec`` here is
+the *kernel-level* decorator (class -> wire id) — new code should register
+protocol codecs through :func:`repro.api.register_codec` instead.
 """
 
 from __future__ import annotations
 
-__all__ = ["register_codec", "codec_class", "codec_name", "CODEC_IDS", "list_codecs"]
+from ..api.registry import (
+    CODEC_IDS,
+    UnknownCodecError,
+    codec_class,
+    codec_name,
+    list_codecs,
+    register_kernel as register_codec,
+)
 
-#: stable ids — never renumber, only append
-CODEC_IDS = {
-    "cusz-hi-cr": 1,
-    "cusz-hi-tp": 2,
-    "cusz-hi": 3,  # custom-config cuSZ-Hi
-    "cusz-hi-tiled": 4,  # multi-tile parallel frame (repro.core.tiling)
-    "cusz-l": 10,
-    "cusz-i": 11,
-    "cusz-ib": 12,
-    "cuszp2": 20,
-    "cuzfp": 30,
-    "fzgpu": 40,
-}
-
-_BY_ID: dict[int, type] = {}
-_NAME_BY_ID = {v: k for k, v in CODEC_IDS.items()}
-
-
-def register_codec(name: str):
-    """Class decorator binding a compressor class to its registry id."""
-    if name not in CODEC_IDS:
-        raise KeyError(f"codec {name!r} missing from CODEC_IDS")
-
-    def deco(cls):
-        cls.codec_id = CODEC_IDS[name]
-        cls.codec_name = name
-        _BY_ID[CODEC_IDS[name]] = cls
-        return cls
-
-    return deco
-
-
-def codec_class(codec_id: int) -> type:
-    """Resolve a registry id to its compressor class (imports lazily)."""
-    if codec_id not in _BY_ID:
-        # Importing the packages triggers self-registration.
-        from .. import baselines  # noqa: F401
-        from . import compressor  # noqa: F401
-    try:
-        return _BY_ID[codec_id]
-    except KeyError:
-        raise KeyError(f"no codec registered for id {codec_id}") from None
-
-
-def codec_name(codec_id: int) -> str:
-    return _NAME_BY_ID.get(codec_id, f"unknown-{codec_id}")
-
-
-def list_codecs() -> dict[str, int]:
-    return dict(CODEC_IDS)
+__all__ = [
+    "register_codec",
+    "codec_class",
+    "codec_name",
+    "CODEC_IDS",
+    "list_codecs",
+    "UnknownCodecError",
+]

@@ -17,9 +17,15 @@ GET    ``/archives/{name}/fields/{f}``    decompress one entry (``?tile=I``
                                           decodes a single tile)
 POST   ``/jobs``                          submit a manifest to the batch runner
 GET    ``/jobs/{id}``                     poll a job (report embedded when done)
-GET    ``/healthz``                       liveness probe
+GET    ``/codecs``                        registry capabilities table
+GET    ``/healthz``                       liveness + version/schema report
 GET    ``/stats``                         cache/batcher/jobs/request counters
 ====== ================================== =======================================
+
+``POST /compress`` query parameters deserialize into one
+:class:`repro.api.CompressionRequest` (the same contract the CLI and the
+batch manifests speak), so every registered codec and option is reachable
+over HTTP with no per-endpoint plumbing.
 
 Three service-scale mechanisms sit between the sockets and the engine:
 
@@ -51,8 +57,16 @@ import urllib.parse
 
 import numpy as np
 
+from ..api import (
+    REQUEST_SCHEMA,
+    CapabilityError,
+    RequestError,
+    UnknownCodecError,
+    build_request,
+    codec_name,
+    registry,
+)
 from ..core.container import ContainerError
-from ..core.registry import codec_name
 from ..encoders import ans as _ans_tables
 from ..encoders import huffman as _huffman_tables
 from ..predictor.interpolation import level_plan_stats
@@ -138,6 +152,16 @@ class _Request:
                 400, f"query parameter {key}={raw!r} must be comma-separated positive integers"
             )
         return dims
+
+
+def _coerce_option(value: str):
+    """``opt.*`` query values: numbers become numbers, the rest stay text."""
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            continue
+    return value
 
 
 def _safe_name(name: str, what: str) -> str:
@@ -320,7 +344,21 @@ class ReproServer:
         parts = req.parts
         if parts == ["healthz"]:
             self._require(req, "GET")
-            return self._json_response({"status": "ok", "archive_root": self.archive_root})
+            from .. import __version__
+
+            return self._json_response(
+                {
+                    "status": "ok",
+                    "archive_root": self.archive_root,
+                    "version": __version__,
+                    "request_schema": REQUEST_SCHEMA,
+                }
+            )
+        if parts == ["codecs"]:
+            self._require(req, "GET")
+            return self._json_response(
+                {"request_schema": REQUEST_SCHEMA, "codecs": registry.table()}
+            )
         if parts == ["stats"]:
             self._require(req, "GET")
             return self._json_response(self.stats())
@@ -353,6 +391,36 @@ class ReproServer:
             raise HttpError(405, f"{req.path} only supports {method}")
 
     # ---------------------------------------------------------------- compute
+    def _compress_request(self, req: _Request):
+        """Deserialize ``POST /compress`` query parameters into the one
+        canonical :class:`~repro.api.CompressionRequest` (all eb/codec/
+        tiling/pipeline defaulting and validation lives in ``repro.api``).
+
+        Codec-specific options ride as ``opt.<key>=<value>`` query
+        parameters (numbers coerced), e.g. ``codec=cuzfp&opt.rate=8`` —
+        so every registered codec, including fixed-rate ones, is reachable
+        over HTTP."""
+        codec = req.query.get("codec")
+        mode = req.query.get("mode")
+        options = {}
+        for key, value in req.query.items():
+            if key.startswith("opt."):
+                options[key[4:]] = _coerce_option(value)
+        try:
+            return build_request(
+                codec=codec,
+                mode=None if codec is not None else mode,
+                eb=req.query_float("eb"),
+                eb_mode=req.query.get("eb_mode"),
+                tiles=req.query_dims("tiles"),
+                workers=req.query_int("workers"),
+                executor=req.query.get("executor"),
+                pipeline=req.query.get("pipeline"),
+                options=options or None,
+            )
+        except (RequestError, CapabilityError, UnknownCodecError) as exc:
+            raise HttpError(400, str(exc)) from None
+
     async def _handle_compress(self, req: _Request) -> tuple[int, dict, bytes]:
         shape = req.query_dims("shape")
         if shape is None:
@@ -360,10 +428,7 @@ class ReproServer:
         dtype = req.query.get("dtype", "float32")
         if dtype not in _DTYPES:
             raise HttpError(400, f"dtype must be one of {_DTYPES}, got {dtype!r}")
-        eb = req.query_float("eb", 1e-3)
-        mode = req.query.get("mode", "cr")
-        if mode not in ("cr", "tp"):
-            raise HttpError(400, f"mode must be 'cr' or 'tp', got {mode!r}")
+        request = self._compress_request(req)
         expected = math.prod(shape) * np.dtype(dtype).itemsize
         if len(req.body) != expected:
             raise HttpError(
@@ -372,17 +437,11 @@ class ReproServer:
                 f"dtype={dtype} needs {expected}",
             )
         data = np.frombuffer(req.body, dtype=dtype).reshape(shape)
-        kwargs = {"eb": eb, "mode": mode}
-        codec = req.query.get("codec")
-        if codec is not None:
-            kwargs["codec"] = codec
-        tiles = req.query_dims("tiles")
-        if tiles is not None:
-            kwargs["tile_shape"] = tiles
         try:
-            blob = await self.batcher.submit(data, **kwargs)
+            result = await self.batcher.submit(data, request)
         except (ValueError, TypeError, KeyError) as exc:
             raise HttpError(400, f"compression rejected: {exc}") from None
+        blob = result.blob
         payload = await asyncio.to_thread(blob.to_bytes)  # CRCs off the loop
         headers = {
             "X-Repro-Codec": codec_name(blob.codec),
@@ -394,7 +453,7 @@ class ReproServer:
     async def _handle_decompress(self, req: _Request) -> tuple[int, dict, bytes]:
         if not req.body:
             raise HttpError(400, "POST /decompress needs a .rpz container body")
-        from .. import decompress as _decompress
+        from ..api import decompress as _decompress
 
         def _work() -> tuple[np.ndarray, bytes]:
             data = _decompress(req.body)

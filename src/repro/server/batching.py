@@ -21,6 +21,7 @@ from __future__ import annotations
 import asyncio
 import time
 
+from ..api import CompressionRequest, build_request
 from ..core.tiling import map_tiles, resolve_workers
 from ..gpu.costmodel import lpt_order
 
@@ -29,10 +30,10 @@ __all__ = ["MicroBatcher"]
 
 def _compress_one(job):
     """Run one queued compress request (module-level for executor symmetry)."""
-    from .. import compress as _compress
+    from ..api import compress as _compress
 
-    data, kwargs = job
-    return _compress(data, **kwargs)
+    data, request = job
+    return _compress(data, request)
 
 
 class MicroBatcher:
@@ -55,17 +56,24 @@ class MicroBatcher:
         self._busy_s = 0.0
 
     # ----------------------------------------------------------------- submit
-    async def submit(self, data, **compress_kwargs):
-        """Queue one compress request; resolves to its ``CompressedBlob``.
+    async def submit(self, data, request: CompressionRequest | None = None, **kwargs):
+        """Queue one compress request; resolves to its
+        :class:`~repro.api.CompressionResult`.
 
-        Raises whatever :func:`repro.compress` raised for *this* request —
+        ``kwargs`` feed :func:`repro.api.build_request` when no request is
+        given (so ``submit(field, eb=1e-3)`` still reads naturally).  Raises
+        whatever :func:`repro.api.compress` raised for *this* request —
         failures never leak across the batch.
         """
+        if request is None:
+            request = build_request(**kwargs)
+        elif kwargs:
+            raise ValueError("pass either a request or build_request keywords, not both")
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         batch = None
         async with self._lock:
-            self._pending.append((data, compress_kwargs, future))
+            self._pending.append((data, request, future))
             self._requests += 1
             if len(self._pending) >= self.max_batch:
                 batch = self._take_batch()

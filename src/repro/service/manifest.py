@@ -31,10 +31,18 @@ array of per-field entries::
     timesteps = 4          # >1: snapshot-stream entry (core.streaming)
     temporal = true        # delta-compress successive snapshots
 
+Compression semantics (``eb``/``mode``/``codec``/``tiles``/``pipeline``)
+are **not** validated here: each field's knobs become per-field overrides
+of the job-level :class:`repro.api.CompressionRequest`
+(:meth:`FieldSpec.request`), so the one request validation path — including
+codec-capability checks like "this codec cannot tile" — runs at parse time
+and raises :class:`ManifestError` with the field's name attached.
+
 Structural errors (no fields, duplicate names, unknown dataset, conflicting
-keys) raise :class:`ManifestError` at parse time; *runtime* problems (a raw
-file missing on disk, a compression failure) are left to the runner's
-per-field failure isolation so one bad field cannot sink the corpus.
+keys) also raise :class:`ManifestError` at parse time; *runtime* problems
+(a raw file missing on disk, a compression failure) are left to the
+runner's per-field failure isolation so one bad field cannot sink the
+corpus.
 """
 
 from __future__ import annotations
@@ -43,8 +51,16 @@ import json
 import os
 from dataclasses import dataclass, field
 
-from ..core.tiling import EXECUTORS
-from ..datasets.registry import get_info
+from ..api import (
+    CapabilityError,
+    CompressionRequest,
+    ErrorBoundSpec,
+    RequestError,
+    UnknownCodecError,
+    build_request,
+    check_executor,
+    registry,
+)
 
 try:  # Python >= 3.11; on 3.10 TOML manifests degrade to a clean error
     import tomllib as _toml
@@ -60,7 +76,7 @@ __all__ = [
     "resolve_field_path",
 ]
 
-_MODES = ("cr", "tp")
+_REQUEST_ERRORS = (RequestError, CapabilityError, UnknownCodecError)
 
 
 class ManifestError(ValueError):
@@ -69,7 +85,12 @@ class ManifestError(ValueError):
 
 @dataclass(frozen=True)
 class FieldSpec:
-    """One corpus entry: a dataset/file reference plus compression knobs."""
+    """One corpus entry: a dataset/file reference plus compression knobs.
+
+    The knobs (``eb``/``mode``/``codec``/``tiles``/``pipeline``) are stored
+    raw (``None`` = inherit the job default) and resolved through
+    :meth:`request` into the canonical contract.
+    """
 
     name: str
     dataset: str | None = None
@@ -80,12 +101,26 @@ class FieldSpec:
     mode: str | None = None
     codec: str | None = None
     tiles: tuple[int, ...] | None = None
+    pipeline: str | None = None
     timesteps: int = 1
     temporal: bool = False
 
     @property
     def is_stream(self) -> bool:
         return self.timesteps > 1
+
+    def request(self, job: "JobSpec") -> CompressionRequest:
+        """This field's :class:`~repro.api.CompressionRequest`: the job-level
+        request with this entry's overrides applied (the one defaulting and
+        validation path — no manifest-local eb/tiling/pipeline rules)."""
+        return build_request(
+            base=job.request(),
+            codec=self.codec,
+            mode=None if self.codec is not None else self.mode,
+            eb=self.eb,
+            tiles=self.tiles,
+            pipeline=self.pipeline,
+        )
 
 
 @dataclass(frozen=True)
@@ -98,8 +133,18 @@ class JobSpec:
     executor: str = "serial"
     workers: int = 0
     tiles: tuple[int, ...] | None = None
+    pipeline: str | None = None
     base_dir: str = "."
     fields: tuple[FieldSpec, ...] = field(default_factory=tuple)
+
+    def request(self) -> CompressionRequest:
+        """The job-level default :class:`~repro.api.CompressionRequest`."""
+        return build_request(
+            mode=self.mode,
+            eb=self.eb,
+            tiles=self.tiles,
+            pipeline=self.pipeline,
+        )
 
     def resolve_path(self, spec: FieldSpec) -> str:
         """Raw-file refs are relative to the manifest's directory."""
@@ -144,13 +189,19 @@ _FIELD_KEYS = frozenset(
         "mode",
         "codec",
         "tiles",
+        "pipeline",
         "timesteps",
         "temporal",
     )
 )
 
+_JOB_KEYS = frozenset(("name", "eb", "mode", "executor", "workers", "tiles", "pipeline"))
+
 
 def _parse_field(raw: dict, pos: int) -> FieldSpec:
+    """Structural validation of one ``[[fields]]`` entry (data source, shape,
+    stream geometry); compression knobs are carried raw and validated by the
+    request layer in :func:`parse_manifest`."""
     _require(isinstance(raw, dict), f"fields[{pos}] must be a table/object")
     unknown = set(raw) - _FIELD_KEYS
     _require(not unknown, f"fields[{pos}]: unknown keys {sorted(unknown)}")
@@ -162,22 +213,13 @@ def _parse_field(raw: dict, pos: int) -> FieldSpec:
         f"field {name!r} must set exactly one of 'dataset' or 'path'",
     )
     if dataset is not None:
+        from ..datasets.registry import get_info
+
         try:
             get_info(dataset)
         except KeyError as exc:
             raise ManifestError(f"field {name!r}: {exc.args[0]}") from None
     shape = _as_dims(raw.get("shape", raw.get("dims")), f"field {name!r} shape")
-    tiles = _as_dims(raw.get("tiles"), f"field {name!r} tiles")
-    eb = raw.get("eb")
-    if eb is not None:
-        _require(isinstance(eb, (int, float)) and eb > 0, f"field {name!r}: eb must be > 0")
-    mode = raw.get("mode")
-    _require(mode is None or mode in _MODES, f"field {name!r}: mode must be one of {_MODES}")
-    codec = raw.get("codec")
-    _require(
-        codec is None or tiles is None,
-        f"field {name!r}: tiles are only supported for the cuSZ-Hi codecs, not codec={codec!r}",
-    )
     timesteps = raw.get("timesteps", 1)
     _require(
         isinstance(timesteps, int) and timesteps >= 1,
@@ -192,16 +234,19 @@ def _parse_field(raw: dict, pos: int) -> FieldSpec:
         isinstance(seed, int) and not isinstance(seed, bool),
         f"field {name!r}: seed must be an integer",
     )
+    eb = raw.get("eb")
+    tiles = raw.get("tiles")
     return FieldSpec(
         name=name.strip(),
         dataset=dataset,
         path=path,
         shape=shape,
         seed=int(seed),
-        eb=float(eb) if eb is not None else None,
-        mode=mode,
-        codec=codec,
-        tiles=tiles,
+        eb=float(eb) if isinstance(eb, (int, float)) and not isinstance(eb, bool) else eb,
+        mode=raw.get("mode"),
+        codec=raw.get("codec"),
+        tiles=tuple(tiles) if isinstance(tiles, list) else tiles,
+        pipeline=raw.get("pipeline"),
         timesteps=timesteps,
         temporal=bool(raw.get("temporal", False)),
     )
@@ -221,6 +266,8 @@ def parse_manifest(doc: dict, base_dir: str = ".", default_name: str = "batch") 
     ('demo', 'threads', 2)
     >>> spec.fields[0].shape, spec.fields[1].eb
     ((32, 32, 32), 0.0001)
+    >>> spec.fields[1].request(spec).error_bound
+    ErrorBoundSpec(value=0.0001, mode='rel')
 
     Structural problems surface immediately, not at run time:
 
@@ -234,7 +281,7 @@ def parse_manifest(doc: dict, base_dir: str = ".", default_name: str = "batch") 
     _require(not unknown_root, f"manifest: unknown top-level keys {sorted(unknown_root)}")
     job = doc.get("job", {})
     _require(isinstance(job, dict), "'job' must be a table/object")
-    unknown_job = set(job) - {"name", "eb", "mode", "executor", "workers", "tiles"}
+    unknown_job = set(job) - _JOB_KEYS
     _require(not unknown_job, f"job: unknown keys {sorted(unknown_job)}")
     raw_fields = doc.get("fields")
     _require(
@@ -242,27 +289,54 @@ def parse_manifest(doc: dict, base_dir: str = ".", default_name: str = "batch") 
         "manifest needs a non-empty 'fields' array",
     )
     eb = job.get("eb", 1e-3)
-    _require(isinstance(eb, (int, float)) and eb > 0, "job.eb must be > 0")
-    mode = job.get("mode", "cr")
-    _require(mode in _MODES, f"job.mode must be one of {_MODES}")
+    try:
+        ErrorBoundSpec(value=eb)  # the one shared bound validation
+    except RequestError as exc:
+        raise ManifestError(f"job.eb: {exc}") from None
     executor = job.get("executor", "serial")
-    _require(executor in EXECUTORS, f"job.executor must be one of {EXECUTORS}")
+    try:
+        check_executor(executor, "job.executor")
+    except RequestError as exc:
+        raise ManifestError(str(exc)) from None
     workers = job.get("workers", 0)
     _require(isinstance(workers, int) and workers >= 0, "job.workers must be >= 0 (0 = auto)")
     fields = tuple(_parse_field(raw, i) for i, raw in enumerate(raw_fields))
     names = [f.name for f in fields]
     dupes = sorted({n for n in names if names.count(n) > 1})
     _require(not dupes, f"duplicate field names: {dupes}")
-    return JobSpec(
+    tiles = job.get("tiles")
+    spec = JobSpec(
         name=str(job.get("name", default_name)),
         eb=float(eb),
-        mode=mode,
+        mode=job.get("mode", "cr"),
         executor=executor,
         workers=int(workers),
-        tiles=_as_dims(job.get("tiles"), "job.tiles"),
+        tiles=tuple(tiles) if isinstance(tiles, list) else tiles,
+        pipeline=job.get("pipeline"),
         base_dir=base_dir,
         fields=fields,
     )
+    # Resolve every request once at parse time: the single validation path
+    # (repro.api.build_request + codec capabilities) rejects bad eb/mode/
+    # codec/tiles/pipeline combinations before any compute is scheduled.
+    try:
+        spec.request()
+    except _REQUEST_ERRORS as exc:
+        raise ManifestError(f"job: {exc}") from None
+    for f in fields:
+        try:
+            request = f.request(spec)
+        except _REQUEST_ERRORS as exc:
+            raise ManifestError(f"field {f.name!r}: {exc}") from None
+        # Streaming is a per-codec capability like tiling: reject snapshot
+        # streams on codecs that cannot serve as a StreamWriter kernel here,
+        # not with an opaque TypeError deep inside the runner.
+        if f.is_stream and not registry.capabilities(request.codec).streaming:
+            raise ManifestError(
+                f"field {f.name!r}: codec {request.codec!r} does not support "
+                "snapshot streams (timesteps > 1)"
+            )
+    return spec
 
 
 def load_manifest(path: str) -> JobSpec:

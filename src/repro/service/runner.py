@@ -32,7 +32,7 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-from ..core.registry import codec_class, codec_name
+from ..api import codec_name
 from ..core.streaming import StreamWriter
 from ..core.tiling import map_tiles, resolve_workers
 from ..datasets.io import read_raw
@@ -138,23 +138,29 @@ def _load_field(spec: FieldSpec, base_dir: str, seed_offset: int = 0) -> np.ndar
     return data
 
 
+def _field_request(spec: FieldSpec, defaults):
+    """This field's canonical request, with the tiling fan-out pinned to the
+    lanes the batch executor leaves free (never nest pools)."""
+    request = spec.request(defaults["job"])
+    if request.tiling is not None:
+        request = request.with_tiling_execution(
+            defaults["inner_executor"], defaults["inner_workers"]
+        )
+    return request
+
+
 def _run_field_job(job) -> tuple[FieldResult, bytes | None, dict | None]:
-    # Deferred: repro.compress is defined after the subpackage imports in
-    # repro/__init__, so a module-level import here would be circular.
-    from .. import compress as _compress
+    # Deferred: keeps this module import-light and the job tuple picklable
+    # for the "processes" executor.
+    from ..api import compress as _compress, decompress as _decompress
 
     spec, defaults = job
     t0 = time.perf_counter()
     result = FieldResult(name=spec.name, status="failed", timesteps=spec.timesteps)
     try:
-        eb = spec.eb if spec.eb is not None else defaults["eb"]
-        mode = spec.mode or defaults["mode"]
-        tiles = spec.tiles if spec.tiles is not None else defaults["tiles"]
-        if spec.codec is not None:
-            tiles = None  # manifest validation already rejects codec+tiles
-        inner_executor = defaults["inner_executor"] if tiles is not None else None
+        request = _field_request(spec, defaults)
         if spec.is_stream:
-            payload, info = _compress_stream(spec, defaults, eb, mode, tiles, inner_executor)
+            payload, info = _compress_stream(spec, defaults, request)
             first = info["first_snapshot"]
             result.shape = tuple(first.shape)
             result.dtype = first.dtype.name
@@ -170,23 +176,16 @@ def _run_field_job(job) -> tuple[FieldResult, bytes | None, dict | None]:
                 "timesteps": spec.timesteps,
             }
         else:
-            data = _load_field(spec, defaults["base_dir"])
-            blob = _compress(
-                data,
-                eb=eb,
-                mode=mode,
-                codec=spec.codec,
-                tile_shape=tiles,
-                workers=defaults["inner_workers"] if tiles is not None else 0,
-                executor=inner_executor,
-            )
-            recon = codec_class(blob.codec)().decompress(blob)
+            data = _load_field(spec, defaults["job"].base_dir)
+            compressed = _compress(data, request)
+            blob = compressed.blob
+            recon = _decompress(blob)
             payload = blob.to_bytes()
             stream_info = None
             result.shape = tuple(data.shape)
             result.dtype = data.dtype.name
             result.codec = codec_name(blob.codec)
-            result.eb_abs = float(blob.error_bound)
+            result.eb_abs = compressed.error_bound
             result.raw_nbytes = int(data.nbytes)
             result.psnr = psnr(data, recon)
             result.max_err = max_abs_error(data, recon)
@@ -203,32 +202,32 @@ def _run_field_job(job) -> tuple[FieldResult, bytes | None, dict | None]:
         return result, None, None
 
 
-def _compress_stream(spec, defaults, eb, mode, tiles, inner_executor):
-    from ..core.compressor import CuszHi  # local: keep module import light
+def _compress_stream(spec, defaults, request):
+    from dataclasses import replace
+
+    from ..api import DEFAULT_CODEC, kernel_for
 
     snapshots = [
-        _load_field(spec, defaults["base_dir"], seed_offset=t) for t in range(spec.timesteps)
+        _load_field(spec, defaults["job"].base_dir, seed_offset=t) for t in range(spec.timesteps)
     ]
     kwargs = {}
-    if tiles is not None:
+    if request.tiling is not None:
         kwargs.update(
-            tile_shape=tiles,
-            workers=defaults["inner_workers"],
-            executor=inner_executor or "threads",
+            tile_shape=request.tiling.tiles,
+            workers=request.tiling.workers,
+            executor=request.tiling.executor or "threads",
         )
-    if spec.codec is not None:
-        from ..analysis.harness import make_compressor
-
-        writer = StreamWriter(
-            compressor=make_compressor(spec.codec), eb=eb, temporal=spec.temporal
-        )
+    if request.codec == DEFAULT_CODEC and not kwargs and request.pipeline is None:
+        compressor = None  # the StreamWriter default engine, constructed once
     else:
-        writer = StreamWriter(
-            compressor=None if not kwargs and mode == "cr" else CuszHi(mode=mode),
-            eb=eb,
-            temporal=spec.temporal,
-            **kwargs,
-        )
+        # The writer owns tiled-frame handling, so hand it the untiled kernel.
+        compressor = kernel_for(replace(request, tiling=None))
+    writer = StreamWriter(
+        compressor=compressor,
+        eb=request.error_bound.value,
+        temporal=spec.temporal,
+        **kwargs,
+    )
     for snap in snapshots:
         writer.append(snap)
     payload = writer.getvalue()
@@ -303,10 +302,10 @@ class BatchRunner:
             else:
                 pending.append(fspec)
         defaults = {
-            "eb": self.spec.eb,
-            "mode": self.spec.mode,
-            "tiles": self.spec.tiles,
-            "base_dir": self.spec.base_dir,
+            # The whole JobSpec travels with each field job (it is a frozen
+            # picklable dataclass): per-field requests resolve against the
+            # job-level CompressionRequest in one place (FieldSpec.request).
+            "job": self.spec,
             # Fields are the unit of parallelism: never nest process pools,
             # and keep tile threads off the lanes process workers run on.
             "inner_executor": "serial" if self.executor == "processes" else "threads",

@@ -1,0 +1,158 @@
+"""The unified request/result contract: specs, defaulting, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DEFAULT_CODEC,
+    REQUEST_SCHEMA,
+    CapabilityError,
+    CompressionRequest,
+    ErrorBoundSpec,
+    PipelineSpec,
+    RequestError,
+    TilingSpec,
+    build_request,
+)
+
+
+class TestErrorBoundSpec:
+    def test_defaults(self):
+        spec = ErrorBoundSpec()
+        assert spec.value == 1e-3 and spec.mode == "rel"
+
+    @pytest.mark.parametrize("bad", [0, -1e-3, float("nan"), float("inf"), "x", True, None])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(RequestError):
+            ErrorBoundSpec(value=bad)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(RequestError, match="'rel' or 'abs'"):
+            ErrorBoundSpec(mode="relative")
+
+    def test_round_trip(self):
+        spec = ErrorBoundSpec(1e-4, "abs")
+        assert ErrorBoundSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestTilingSpec:
+    def test_valid(self):
+        spec = TilingSpec(tiles=(64, 64), executor="threads", workers=4)
+        assert spec.tiles == (64, 64)
+
+    @pytest.mark.parametrize("bad", [(), (0,), (8, -1), ("a",), None, 8])
+    def test_bad_tiles_rejected(self, bad):
+        with pytest.raises(RequestError):
+            TilingSpec(tiles=bad)
+
+    def test_bad_executor_rejected(self):
+        with pytest.raises(RequestError, match="executor"):
+            TilingSpec(tiles=(8,), executor="gpu")
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(RequestError, match="workers"):
+            TilingSpec(tiles=(8,), workers=-1)
+
+    def test_round_trip(self):
+        spec = TilingSpec(tiles=(16, 16, 16), executor="processes", workers=2)
+        assert TilingSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestCompressionRequest:
+    def test_defaults(self):
+        req = CompressionRequest()
+        assert req.codec == DEFAULT_CODEC
+        assert req.tiling is None and req.pipeline is None and req.data is None
+
+    def test_coercions(self):
+        req = CompressionRequest(
+            error_bound=1e-2, tiling=(32, 32), pipeline="HF", options={"a": 1}, meta={"k": "v"}
+        )
+        assert req.error_bound == ErrorBoundSpec(1e-2)
+        assert req.tiling == TilingSpec(tiles=(32, 32))
+        assert req.pipeline == PipelineSpec("HF")
+        assert req.option("a") == 1 and dict(req.meta)["k"] == "v"
+
+    def test_hashable_and_data_excluded_from_eq(self):
+        a = CompressionRequest().with_data(np.zeros(4, np.float32))
+        b = CompressionRequest().with_data(np.ones(4, np.float32))
+        assert a == b and hash(a) == hash(b)
+        assert a.without_data().data is None
+
+    def test_to_dict_schema_and_round_trip(self):
+        req = build_request(mode="tp", eb=1e-2, tiles=(64,), workers=3, executor="serial")
+        doc = req.to_dict()
+        assert doc["schema"] == REQUEST_SCHEMA
+        assert CompressionRequest.from_dict(doc) == req
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(RequestError, match="unknown keys"):
+            CompressionRequest.from_dict({"codec": "cusz-hi-cr", "wat": 1})
+
+    def test_from_dict_rejects_foreign_schema(self):
+        with pytest.raises(RequestError, match="schema"):
+            CompressionRequest.from_dict({"schema": "other/9"})
+
+    def test_with_tiling_execution(self):
+        req = build_request(tiles=(8, 8))
+        pinned = req.with_tiling_execution("serial", 1)
+        assert pinned.tiling.executor == "serial" and pinned.tiling.workers == 1
+        assert build_request().with_tiling_execution("serial", 1).tiling is None
+
+
+class TestBuildRequest:
+    def test_mode_sugar(self):
+        assert build_request(mode="cr").codec == "cusz-hi-cr"
+        assert build_request(mode="tp").codec == "cusz-hi-tp"
+
+    def test_mode_conflicts_with_codec(self):
+        with pytest.raises(RequestError, match="conflicts with codec"):
+            build_request(mode="cr", codec="fzgpu")
+
+    def test_bad_mode(self):
+        with pytest.raises(RequestError, match="mode must be"):
+            build_request(mode="fast")
+
+    def test_workers_without_tiles_rejected(self):
+        with pytest.raises(RequestError, match="require tiles"):
+            build_request(workers=2)
+        with pytest.raises(RequestError, match="require tiles"):
+            build_request(executor="threads")
+
+    def test_base_overrides(self):
+        base = build_request(mode="tp", eb=1e-2, tiles=(32, 32), meta={"job": "j"})
+        override = build_request(base=base, eb=1e-4)
+        assert override.codec == "cusz-hi-tp"
+        assert override.error_bound.value == 1e-4
+        assert override.tiling == base.tiling
+        assert dict(override.meta) == {"job": "j"}
+
+    def test_codec_override_drops_codec_specific_carryovers(self):
+        base = build_request(mode="cr", tiles=(32, 32), pipeline="HF")
+        override = build_request(base=base, codec="fzgpu")
+        assert override.codec == "fzgpu"
+        assert override.tiling is None and override.pipeline is None
+
+    def test_mode_override_keeps_inherited_tiling(self):
+        """Regression: mode sugar switches engine variants — it must not be
+        treated as a codec change that drops the base's tiling/pipeline."""
+        base = build_request(mode="cr", tiles=(16, 16, 16), pipeline="HF")
+        override = build_request(base=base, mode="tp")
+        assert override.codec == "cusz-hi-tp"
+        assert override.tiling == base.tiling
+        assert override.pipeline == base.pipeline
+
+    def test_scalar_tiles_is_a_request_error_not_typeerror(self):
+        """Regression: tuple(8) used to escape as a raw TypeError."""
+        with pytest.raises(RequestError, match="tiles"):
+            build_request(tiles=8)
+
+    def test_tiling_capability_enforced_at_build(self):
+        with pytest.raises(CapabilityError, match="fzgpu"):
+            build_request(codec="fzgpu", tiles=(8, 8))
+
+    def test_unknown_codec_at_build(self):
+        from repro.api import UnknownCodecError
+
+        with pytest.raises(UnknownCodecError, match="gzip"):
+            build_request(codec="gzip")

@@ -56,6 +56,33 @@ class TestResolveErrorBound:
         with pytest.raises(ValueError):
             resolve_error_bound(np.zeros(3, np.float32), -1.0, "rel")
 
+    def test_nan_edges_still_resolve(self):
+        data = np.array([np.nan, 0.0, 5.0, np.nan], dtype=np.float32)
+        assert resolve_error_bound(data, 1e-2, "rel") == pytest.approx(0.05)
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            np.zeros(0, dtype=np.float32),
+            np.full(7, np.nan, dtype=np.float32),
+            np.array([np.inf, -np.inf, np.nan], dtype=np.float32),
+        ],
+        ids=["empty", "all-nan", "no-finite"],
+    )
+    def test_rel_mode_without_finite_values_raises(self, data):
+        """Regression: the old code silently returned the *relative* eb as if
+        it were absolute for fields with no finite values."""
+        with pytest.raises(ValueError, match="no.*finite values"):
+            resolve_error_bound(data, 1e-3, "rel")
+
+    @pytest.mark.parametrize(
+        "data",
+        [np.zeros(0, dtype=np.float32), np.full(7, np.nan, dtype=np.float32)],
+        ids=["empty", "all-nan"],
+    )
+    def test_abs_mode_without_finite_values_passes_through(self, data):
+        assert resolve_error_bound(data, 1e-3, "abs") == 1e-3
+
 
 class TestCompressDecompress:
     @pytest.mark.parametrize("mode", ["cr", "tp"])

@@ -18,10 +18,51 @@ from repro.core.container import CompressedBlob
 
 class TestHealthAndStats:
     def test_healthz(self, serve, http):
+        import repro
+        from repro.api import REQUEST_SCHEMA
+
         async def scenario(server):
             resp = await http(server, "GET", "/healthz")
             assert resp.status == 200
-            assert resp.json()["status"] == "ok"
+            doc = resp.json()
+            assert doc["status"] == "ok"
+            # one version source: the package version + request schema id
+            assert doc["version"] == repro.__version__
+            assert doc["request_schema"] == REQUEST_SCHEMA
+
+        serve(scenario)
+
+    def test_fixed_rate_codec_reachable_via_opt_params(self, serve, http, field16):
+        """Codec options ride as opt.* query keys, so cuzfp (which needs a
+        rate) is usable over HTTP — not just advertised by /codecs."""
+
+        async def scenario(server):
+            body = field16.tobytes()
+            resp = await http(
+                server, "POST", "/compress?shape=16,16,16&codec=cuzfp&opt.rate=8", body
+            )
+            assert resp.status == 200
+            assert resp.headers["x-repro-codec"] == "cuzfp"
+            back = await http(server, "POST", "/decompress", resp.body)
+            assert back.status == 200
+            # Without the rate option the request is a clean 400 naming cuzfp.
+            refused = await http(server, "POST", "/compress?shape=16,16,16&codec=cuzfp", body)
+            assert refused.status == 400
+            assert "cuzfp" in refused.json()["error"]
+
+        serve(scenario)
+
+    def test_codecs_endpoint_lists_registry(self, serve, http):
+        from repro.api import registry
+
+        async def scenario(server):
+            resp = await http(server, "GET", "/codecs")
+            assert resp.status == 200
+            doc = resp.json()
+            assert set(doc["codecs"]) == set(registry.names())
+            assert doc["codecs"]["cusz-hi-cr"]["tiling"] is True
+            assert doc["codecs"]["fzgpu"]["dims"] == [1, 2, 3]
+            assert (await http(server, "POST", "/codecs", b"x")).status == 405
 
         serve(scenario)
 
@@ -261,6 +302,10 @@ class TestMalformedRequests:
             ("/compress?shape=4,4&dtype=int32", b"x" * 64),  # unsupported dtype
             ("/compress?shape=4,4&eb=nope", b"x" * 64),  # unparsable eb
             ("/compress?shape=4,4&mode=zz", b"x" * 64),  # unknown mode
+            ("/compress?shape=4,4&eb=-1", b"x" * 64),  # non-positive eb
+            ("/compress?shape=4,4&codec=gzip", b"x" * 64),  # unknown codec
+            ("/compress?shape=4,4&codec=fzgpu&tiles=2,2", b"x" * 64),  # no tiling
+            ("/compress?shape=4,4&workers=2", b"x" * 64),  # workers need tiles
             ("/compress?shape=4,4", b"xx"),  # body/shape mismatch
         ],
     )

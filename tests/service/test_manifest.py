@@ -143,6 +143,39 @@ class TestValidation:
         with pytest.raises(ManifestError, match="shape"):
             parse_manifest({"fields": [{"name": "x", "dataset": "nyx", "shape": [0, 4]}]})
 
+    @pytest.mark.parametrize("tiles", [8, [0, 4], [], "8x8"])
+    def test_bad_tiles_are_manifest_errors(self, tiles):
+        """Regression: a scalar `tiles = 8` escaped as a raw TypeError."""
+        with pytest.raises(ManifestError, match="tiles"):
+            parse_manifest({"fields": [{"name": "x", "dataset": "nyx", "tiles": tiles}]})
+        with pytest.raises(ManifestError, match="tiles"):
+            parse_manifest({"job": {"tiles": tiles}, "fields": [{"name": "x", "dataset": "nyx"}]})
+
+    def test_unknown_codec_rejected_at_parse(self):
+        with pytest.raises(ManifestError, match="field 'x'.*unknown codec 'gzip'"):
+            parse_manifest({"fields": [{"name": "x", "dataset": "nyx", "codec": "gzip"}]})
+
+    def test_stream_with_non_streaming_codec_rejected_at_parse(self):
+        """Regression: a cuzfp snapshot stream parsed cleanly and then died
+        at run time with an opaque TypeError naming neither field nor codec."""
+        doc = {"fields": [{"name": "x", "dataset": "nyx", "codec": "cuzfp", "timesteps": 3}]}
+        with pytest.raises(ManifestError, match="field 'x'.*'cuzfp'.*snapshot streams"):
+            parse_manifest(doc)
+        # The same codec without streaming is still fine structurally.
+        parse_manifest({"fields": [{"name": "x", "dataset": "nyx", "codec": "cuzfp"}]})
+
+    def test_field_mode_override_keeps_job_tiles(self):
+        """A field switching engine mode must inherit the job-level tiling."""
+        spec = parse_manifest(
+            {
+                "job": {"tiles": [16, 16, 16]},
+                "fields": [{"name": "x", "dataset": "nyx", "mode": "tp"}],
+            }
+        )
+        request = spec.fields[0].request(spec)
+        assert request.codec == "cusz-hi-tp"
+        assert request.tiling is not None and request.tiling.tiles == (16, 16, 16)
+
     def test_bad_seed(self):
         with pytest.raises(ManifestError, match="seed must be an integer"):
             parse_manifest({"fields": [{"name": "x", "dataset": "nyx", "seed": "abc"}]})

@@ -1,0 +1,112 @@
+"""Public-API surface snapshot: accidental breaking changes fail CI.
+
+``repro.api`` is the one contract every consumer (and external user)
+programs against, so its shape is pinned in ``tests/data/api_surface.json``.
+A deliberate surface change regenerates the snapshot::
+
+    PYTHONPATH=src python tests/test_api_surface.py --write
+
+and the diff lands in review alongside the code change; an *accidental*
+rename/removal/signature change fails this test (wired into the CI lint
+job) before it ships.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import json
+import os
+import sys
+
+import repro.api as api
+
+SNAPSHOT_PATH = os.path.join(os.path.dirname(__file__), "data", "api_surface.json")
+
+
+def _params(obj) -> list[str]:
+    """Stable parameter encoding: names + kind markers, no annotations
+    (annotation rendering varies across Python versions)."""
+    out = []
+    for p in inspect.signature(obj).parameters.values():
+        name = p.name
+        if p.kind is p.VAR_POSITIONAL:
+            name = f"*{name}"
+        elif p.kind is p.VAR_KEYWORD:
+            name = f"**{name}"
+        elif p.default is not p.empty:
+            name = f"{name}=?"
+        out.append(name)
+    return out
+
+
+def _methods(cls) -> dict[str, list[str]]:
+    out = {}
+    for name, member in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(member, (classmethod, staticmethod)):
+            out[name] = _params(member.__func__)
+        elif isinstance(member, property):
+            out[name] = ["<property>"]
+        elif callable(member):
+            out[name] = _params(member)
+    return dict(sorted(out.items()))
+
+
+def describe_surface() -> dict:
+    doc = {}
+    for name in sorted(api.__all__):
+        obj = getattr(api, name)
+        if inspect.isclass(obj) and issubclass(obj, BaseException):
+            doc[name] = {
+                "kind": "exception",
+                "bases": sorted(b.__name__ for b in obj.__bases__),
+            }
+        elif dataclasses.is_dataclass(obj) and inspect.isclass(obj):
+            doc[name] = {
+                "kind": "dataclass",
+                "fields": [f.name for f in dataclasses.fields(obj)],
+                "methods": _methods(obj),
+            }
+        elif inspect.isclass(obj):
+            doc[name] = {"kind": "class", "methods": _methods(obj)}
+        elif inspect.isfunction(obj):
+            doc[name] = {"kind": "function", "params": _params(obj)}
+        elif isinstance(obj, (str, tuple)):
+            doc[name] = {"kind": "constant", "value": list(obj) if isinstance(obj, tuple) else obj}
+        elif isinstance(obj, dict):
+            doc[name] = {"kind": "constant", "value": dict(obj)}
+        else:
+            doc[name] = {"kind": type(obj).__name__}
+    return doc
+
+
+def test_api_surface_matches_committed_snapshot():
+    with open(SNAPSHOT_PATH, encoding="utf-8") as fh:
+        committed = json.load(fh)
+    current = describe_surface()
+    assert current == committed, (
+        "repro.api surface drifted from tests/data/api_surface.json.\n"
+        "If the change is intentional, regenerate the snapshot with:\n"
+        "    PYTHONPATH=src python tests/test_api_surface.py --write\n"
+        "and commit the diff."
+    )
+
+
+def test_snapshot_pins_wire_ids():
+    """The snapshot doubles as the stable wire-id ledger."""
+    with open(SNAPSHOT_PATH, encoding="utf-8") as fh:
+        committed = json.load(fh)
+    assert committed["CODEC_IDS"]["value"] == {k: v for k, v in api.CODEC_IDS.items()}
+
+
+if __name__ == "__main__":
+    if "--write" in sys.argv:
+        os.makedirs(os.path.dirname(SNAPSHOT_PATH), exist_ok=True)
+        with open(SNAPSHOT_PATH, "w", encoding="utf-8") as fh:
+            json.dump(describe_surface(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {SNAPSHOT_PATH}")
+    else:
+        print(json.dumps(describe_surface(), indent=1, sort_keys=True))

@@ -294,6 +294,72 @@ class TestHelpText:
             assert "Documentation:" in out
 
 
+class TestVersion:
+    def test_version_flag_reports_package_and_schema(self, capsys):
+        import repro
+        from repro.api import REQUEST_SCHEMA
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert repro.__version__ in out
+        assert REQUEST_SCHEMA in out
+
+
+class TestUnifiedRequestPath:
+    """CLI flags must parse into the one canonical CompressionRequest."""
+
+    def test_unknown_codec_is_clean_error(self, raw_field, tmp_path, capsys):
+        path, _ = raw_field
+        rc = main(["compress", str(path), "-o", str(tmp_path / "x.rpz"), "--codec", "gzip"])
+        assert rc == 2
+        assert "unknown codec 'gzip'" in capsys.readouterr().err
+
+    def test_tiles_with_non_tiling_codec_is_clean_error(self, raw_field, tmp_path, capsys):
+        path, _ = raw_field
+        rc = main([
+            "compress", str(path), "-o", str(tmp_path / "x.rpz"),
+            "--codec", "fzgpu", "--tiles", "8",
+        ])
+        assert rc == 2
+        assert "tiles are only supported" in capsys.readouterr().err
+
+    def test_pipeline_override_flag(self, raw_field, tmp_path, capsys):
+        path, data = raw_field
+        out = tmp_path / "hf.rpz"
+        assert main(["compress", str(path), "-o", str(out), "--pipeline", "HF"]) == 0
+        blob = CompressedBlob.from_bytes(out.read_bytes())
+        assert blob.meta["pipeline"] == "HF"
+
+    def test_bench_pipeline_codec_flag(self, tmp_path, capsys, monkeypatch):
+        from repro import bench
+
+        monkeypatch.setattr(bench, "WORKLOADS", (bench.WORKLOADS[0],))
+        monkeypatch.setattr(bench, "ERROR_BOUNDS", (1e-2,))
+        out = tmp_path / "b.json"
+        rc = main([
+            "bench", "--smoke", "--codec", "fzgpu", "--repeats", "1", "-o", str(out),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["codec"] == "fzgpu"
+        assert all(c["codec"] == "fzgpu" for c in doc["cases"])
+
+    def test_bench_pipeline_rejects_fixed_rate_codec(self, tmp_path, capsys, monkeypatch):
+        from repro import bench
+
+        monkeypatch.setattr(bench, "WORKLOADS", (bench.WORKLOADS[0],))
+        rc = main(["bench", "--smoke", "--codec", "cuzfp", "-o", str(tmp_path / "b.json")])
+        assert rc == 2
+        assert "cuzfp" in capsys.readouterr().err
+
+    def test_bench_codec_without_pipeline_is_clean_error(self, capsys):
+        rc = main(["bench", "--codec", "fzgpu"])
+        assert rc == 2
+        assert "--pipeline" in capsys.readouterr().err
+
+
 class TestServeCommand:
     def test_serve_registered_with_flags(self):
         from repro.cli import build_parser

@@ -1,0 +1,76 @@
+"""``import repro`` must stay light: heavy subpackages load lazily.
+
+The server layer pulls in ``asyncio``/HTTP machinery and the baseline zoo
+pulls in every encoder; a client that only wants ``repro.compress`` should
+pay for neither.  These tests run in a fresh interpreter because pytest's
+own imports would pollute ``sys.modules``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import repro
+
+_PROBE = r"""
+import json, sys
+import repro
+{extra}
+heavy = ["repro.server", "repro.analysis", "repro.baselines", "repro.service",
+         "asyncio", "http", "http.server"]
+print(json.dumps({{m: (m in sys.modules) for m in heavy}}))
+"""
+
+
+def _run_probe(extra: str = "") -> dict:
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", _PROBE.format(extra=extra)],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def test_import_repro_does_not_pull_server_or_asyncio():
+    loaded = _run_probe()
+    assert not loaded["repro.server"], "repro.server imported eagerly"
+    assert not loaded["asyncio"], "asyncio imported by plain `import repro`"
+    assert not loaded["http"], "http imported by plain `import repro`"
+    assert not loaded["repro.analysis"]
+    assert not loaded["repro.baselines"]
+    assert not loaded["repro.service"]
+
+
+def test_lazy_subpackages_resolve_on_attribute_access():
+    loaded = _run_probe(extra="repro.server")
+    assert loaded["repro.server"], "attribute access must import the subpackage"
+
+
+def test_default_compress_does_not_import_baselines():
+    """Registry entry lookups are metadata-only: compressing with the
+    default engine must not pull in the five baseline kernel modules."""
+    loaded = _run_probe(
+        extra="import numpy as np; "
+        "repro.compress(np.zeros((8, 8), dtype=np.float32), eb=1e-3)"
+    )
+    assert not loaded["repro.baselines"], "default compress imported the baseline zoo"
+
+
+def test_lazy_attributes_work_in_this_process():
+    # __getattr__ routing: the attribute is a real module and gets cached.
+    assert repro.analysis.__name__ == "repro.analysis"
+    assert repro.baselines.__name__ == "repro.baselines"
+    assert "analysis" in dir(repro)
+
+
+def test_unknown_attribute_still_raises():
+    import pytest
+
+    with pytest.raises(AttributeError, match="no attribute"):
+        repro.not_a_subpackage

@@ -47,7 +47,7 @@ from .core.registry import codec_class, codec_name, list_codecs
 
 #: single version source: the CLI (``repro --version``), the HTTP service
 #: (``GET /healthz``) and packaging all report this string.
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: heavy subpackages imported lazily via module ``__getattr__`` — keeping
 #: ``import repro`` free of asyncio/http (server) and the baseline zoo.

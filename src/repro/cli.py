@@ -11,9 +11,11 @@ Usage::
     repro archive   get corpus.rpza temperature -o temp.f32
     repro archive   verify corpus.rpza --deep
     repro serve     ./archives --port 8077 --cache-bytes 268435456
+    repro serve     ./archives --workers-procs 4 --queue-depth 64 --deadline-ms 5000
 
 Each subcommand's ``--help`` names the documentation file covering it
-(``docs/ARCHITECTURE.md``, ``docs/API.md``, ``docs/COOKBOOK.md``).
+(``docs/ARCHITECTURE.md``, ``docs/API.md``, ``docs/COOKBOOK.md``,
+``docs/OPERATIONS.md``).
 
 Input files follow the SDRBench raw convention; dims can be embedded in the
 file name (``name_512_512_512.f32``) or passed via ``-d``.  Exit codes: 0 on
@@ -315,20 +317,37 @@ def _cmd_archive_verify(args) -> int:
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import logging
 
     from .server import DEFAULT_CACHE_BYTES, ReproServer
 
-    server = ReproServer(
-        args.root,
-        host=args.host,
-        port=args.port,
-        cache_bytes=DEFAULT_CACHE_BYTES if args.cache_bytes is None else args.cache_bytes,
-        workers=args.workers,
-        batch_window_ms=args.batch_window_ms,
+    # Operational events (drain progress, final stats flush, worker
+    # restarts) are emitted on the "repro.server" logger; without a handler
+    # they would be invisible, so give the foreground process one on stderr.
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(levelname)s %(message)s"
     )
+
+    try:
+        server = ReproServer(
+            args.root,
+            host=args.host,
+            port=args.port,
+            cache_bytes=DEFAULT_CACHE_BYTES if args.cache_bytes is None else args.cache_bytes,
+            workers=args.workers,
+            batch_window_ms=args.batch_window_ms,
+            worker_procs=args.workers_procs,
+            queue_depth=args.queue_depth,
+            deadline_ms=args.deadline_ms,
+        )
+    except ValueError as exc:
+        return _fail(str(exc))
 
     async def _serve() -> None:
         await server.start()
+        # SIGTERM/SIGINT trigger a graceful drain: refuse new work, finish
+        # in-flight requests, flush stats, then stop (docs/OPERATIONS.md).
+        server.install_signal_handlers()
         # The OS picks the port for --port 0; clients need to see the result.
         print(
             f"serving {server.archive_root} on http://{server.host}:{server.port}",
@@ -336,6 +355,8 @@ def _cmd_serve(args) -> int:
         )
         try:
             await server.serve_forever()
+        except asyncio.CancelledError:
+            pass  # graceful drain closed the listener under us
         finally:
             await server.stop()
 
@@ -579,7 +600,8 @@ def build_parser() -> argparse.ArgumentParser:
         sub,
         "serve",
         "serve compress/decompress, archive reads and batch jobs over HTTP",
-        "docs/API.md (HTTP endpoints) and docs/COOKBOOK.md (recipe: query /stats)",
+        "docs/API.md (HTTP endpoints), docs/OPERATIONS.md (worker pool, "
+        "overload behavior, drain) and docs/COOKBOOK.md (recipe: query /stats)",
     )
     ps.add_argument(
         "root",
@@ -606,6 +628,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=5.0,
         help="how long a /compress request waits to coalesce with others",
+    )
+    ps.add_argument(
+        "--workers-procs",
+        type=int,
+        default=1,
+        help="worker processes for heavy work (1 = in-process, 0 = CPU count)",
+    )
+    ps.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="heavy requests in flight before new ones get 429 + Retry-After",
+    )
+    ps.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=0.0,
+        help="per-request deadline for heavy work; expired requests get 503 (0 = none)",
     )
     ps.set_defaults(func=_cmd_serve)
     return p

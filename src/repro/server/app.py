@@ -27,22 +27,45 @@ GET    ``/stats``                         cache/batcher/jobs/request counters
 batch manifests speak), so every registered codec and option is reachable
 over HTTP with no per-endpoint plumbing.
 
-Three service-scale mechanisms sit between the sockets and the engine:
+Service-scale mechanisms sit between the sockets and the engine:
 
 * every CPU-heavy call runs off the event loop (``asyncio.to_thread``), so
   slow decompressions never stall the accept loop or the health probe;
-* concurrent ``POST /compress`` requests coalesce in a
-  :class:`~repro.server.batching.MicroBatcher` and execute as one
+* with ``--workers-procs N`` (N > 1) heavy work leaves the frontend process
+  entirely: a :class:`~repro.server.pool.WorkerPool` dispatches
+  compress/decompress/archive-read tasks to N worker processes, with the
+  read cache sharded per worker by consistent hashing on
+  ``(archive, field)`` — one multi-second compress no longer holds the
+  frontend's GIL (see ``docs/OPERATIONS.md`` for the topology);
+* in single-process mode, concurrent ``POST /compress`` requests coalesce
+  in a :class:`~repro.server.batching.MicroBatcher` and execute as one
   LPT-scheduled pass (largest field first) instead of racing each other;
 * decompressed tiles/fields land in a byte-budgeted
   :class:`~repro.server.cache.ByteBudgetLRU`, so the repeated-read hot path
   (dashboards polling the same slice) costs one dict lookup, with
   hit/miss/eviction counters surfaced in ``/stats``.
 
+Production guardrails (all observable on ``GET /stats``, schema
+``repro.stats/1``):
+
+* **admission control** — once ``--queue-depth`` heavy requests are in
+  flight, new ones get ``429`` with a ``Retry-After`` estimate instead of
+  growing an unbounded backlog;
+* **deadlines** — with ``--deadline-ms`` set, a heavy request that cannot
+  finish in time returns ``503`` (and, pooled, is skipped by workers
+  before any compute if it expired while queued);
+* **graceful drain** — SIGTERM (via :meth:`ReproServer.install_signal_handlers`)
+  stops admissions (new requests get ``503``, ``/healthz``/``/stats`` stay
+  live), lets in-flight requests finish, flushes final stats to the log,
+  then stops the listener and the worker pool;
+* **latency histograms** — every request lands in a per-route log-bucket
+  histogram with p50/p99 estimates.
+
 The HTTP layer itself is deliberately small: HTTP/1.1, ``Content-Length``
 bodies only, one request per connection, JSON errors with 4xx for anything
 malformed (bad query, bad body, unknown route) and 5xx only for genuine
-server bugs.  See ``docs/API.md`` for request/response examples.
+server bugs.  See ``docs/API.md`` for request/response examples and
+``docs/OPERATIONS.md`` for deployment/tuning guidance.
 """
 
 from __future__ import annotations
@@ -52,6 +75,7 @@ import json
 import logging
 import math
 import os
+import signal
 import time
 import urllib.parse
 
@@ -67,6 +91,7 @@ from ..api import (
     registry,
 )
 from ..core.container import ContainerError
+from ..core.tiling import resolve_workers
 from ..encoders import ans as _ans_tables
 from ..encoders import huffman as _huffman_tables
 from ..predictor.interpolation import level_plan_stats
@@ -75,8 +100,16 @@ from ..service.archive import blob_cache_stats
 from .batching import MicroBatcher
 from .cache import ByteBudgetLRU
 from .jobs import JobManager, check_bare_name
+from .metrics import RouteLatencies
+from .pool import (
+    DEFAULT_QUEUE_DEPTH,
+    DeadlineExceeded,
+    PoolSaturated,
+    PoolTaskError,
+    WorkerPool,
+)
 
-__all__ = ["HttpError", "ReproServer", "DEFAULT_CACHE_BYTES"]
+__all__ = ["HttpError", "ReproServer", "DEFAULT_CACHE_BYTES", "STATS_SCHEMA"]
 
 log = logging.getLogger("repro.server")
 
@@ -85,14 +118,20 @@ _MAX_HEADER_BYTES = 64 * 1024
 _MAX_BODY_BYTES = 1024 * 1024 * 1024
 _DTYPES = ("float32", "float64")
 
+#: wire-format identifier stamped into the ``GET /stats`` document, so
+#: dashboards and tests can pin the counter shape
+STATS_SCHEMA = "repro.stats/1"
+
 
 class HttpError(Exception):
-    """A client-visible failure: ``status`` plus a one-line message."""
+    """A client-visible failure: ``status``, a one-line message, and any
+    extra response headers (``Retry-After`` on 429/503)."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, headers: dict | None = None):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = headers or {}
 
 
 _REASONS = {
@@ -103,7 +142,9 @@ _REASONS = {
     405: "Method Not Allowed",
     411: "Length Required",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -171,6 +212,24 @@ def _safe_name(name: str, what: str) -> str:
         raise HttpError(400, f"invalid {what} {name!r}") from None
 
 
+def _route_key(req: _Request) -> str:
+    """The latency-histogram key: path template, not the concrete path.
+
+    Collapses archive/field/job names to placeholders so ``/stats`` shows a
+    bounded route set instead of one histogram per archive.
+    """
+    parts = req.parts
+    if len(parts) == 2 and parts[0] == "archives":
+        path = "/archives/{name}"
+    elif len(parts) == 4 and parts[0] == "archives" and parts[2] == "fields":
+        path = "/archives/{name}/fields/{field}"
+    elif len(parts) == 2 and parts[0] == "jobs":
+        path = "/jobs/{id}"
+    else:
+        path = "/" + "/".join(parts)
+    return f"{req.method} {path}"
+
+
 class ReproServer:
     """The ``repro serve`` application object (also usable in-process).
 
@@ -184,11 +243,25 @@ class ReproServer:
         :meth:`start` — the pattern the test suite uses).
     cache_bytes:
         LRU byte budget for decompressed tiles/fields; ``0`` disables caching.
+        In pooled mode the budget is split evenly across the worker shards.
     workers:
         Thread fan-out for the compress micro-batcher (``0`` = CPU count).
     batch_window_ms, max_batch:
         Micro-batching window: how long a compress request waits for
         batchmates, and the batch size that flushes immediately.
+    worker_procs:
+        Heavy-work processes behind the frontend.  ``1`` (default) keeps the
+        single-process in-process path; ``> 1`` routes compress/decompress/
+        archive reads through a :class:`~repro.server.pool.WorkerPool`;
+        ``0`` means one worker per usable CPU.
+    queue_depth:
+        Admission bound: heavy requests in flight beyond this get 429 with
+        ``Retry-After``.
+    deadline_ms:
+        Per-request deadline for heavy work; ``0`` disables.  Expired
+        requests get 503.
+    drain_grace_s:
+        How long :meth:`drain` waits for in-flight work before stopping.
     """
 
     def __init__(
@@ -201,18 +274,47 @@ class ReproServer:
         batch_window_ms: float = 5.0,
         max_batch: int = 32,
         max_body: int = _MAX_BODY_BYTES,
+        worker_procs: int = 1,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        deadline_ms: float = 0.0,
+        drain_grace_s: float = 30.0,
     ):
         self.archive_root = os.path.abspath(archive_root)
         self.host = host
         self._requested_port = port
         self.max_body = max_body
-        self.cache = ByteBudgetLRU(cache_bytes)
+        self.worker_procs = resolve_workers(worker_procs) if worker_procs == 0 else int(worker_procs)
+        if self.worker_procs < 1:
+            raise ValueError(f"worker_procs must be >= 0 (0 = CPU count), got {worker_procs}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if deadline_ms < 0:
+            raise ValueError(f"deadline_ms must be >= 0 (0 = no deadline), got {deadline_ms}")
+        self.queue_depth = int(queue_depth)
+        self.deadline_ms = float(deadline_ms)
+        self.drain_grace_s = float(drain_grace_s)
+        self.pool: WorkerPool | None = (
+            WorkerPool(self.worker_procs, queue_depth=self.queue_depth, cache_bytes=cache_bytes)
+            if self.worker_procs > 1
+            else None
+        )
+        # Pooled mode hands the whole read-cache budget to the worker shards;
+        # the frontend LRU only serves the single-process path.
+        self.cache = ByteBudgetLRU(0 if self.pool is not None else cache_bytes)
         self.batcher = MicroBatcher(window_ms=batch_window_ms, max_batch=max_batch, workers=workers)
         self.jobs = JobManager(self.archive_root, workers=1)
+        self.latency = RouteLatencies()
         self._server: asyncio.AbstractServer | None = None
         self._started_s = time.time()
         self._requests = 0
         self._responses: dict[str, int] = {"2xx": 0, "4xx": 0, "5xx": 0}
+        self._draining = False
+        self._drain_task: asyncio.Task | None = None
+        self._inflight_heavy = 0
+        self._heavy_ewma_s = 0.0
+        self._rejected_429 = 0
+        self._expired_503 = 0
+        self._draining_503 = 0
 
     # -------------------------------------------------------------- lifecycle
     @property
@@ -224,10 +326,20 @@ class ReproServer:
     async def start(self) -> None:
         os.makedirs(self.archive_root, exist_ok=True)
         self._started_s = time.time()
+        if self.pool is not None:
+            # spawn + handshake blocks; keep the loop responsive while workers boot
+            await asyncio.to_thread(self.pool.start)
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self._requested_port
         )
-        log.info("serving %s on http://%s:%d", self.archive_root, self.host, self.port)
+        log.info(
+            "serving %s on http://%s:%d (%d worker process%s)",
+            self.archive_root,
+            self.host,
+            self.port,
+            self.worker_procs,
+            "" if self.worker_procs == 1 else "es",
+        )
 
     async def stop(self) -> None:
         if self._server is not None:
@@ -235,6 +347,8 @@ class ReproServer:
             await self._server.wait_closed()
             self._server = None
         await self.batcher.drain()
+        if self.pool is not None:
+            self.pool.close()
         self.jobs.shutdown()
 
     async def serve_forever(self) -> None:
@@ -243,6 +357,51 @@ class ReproServer:
         assert self._server is not None
         async with self._server:
             await self._server.serve_forever()
+
+    def install_signal_handlers(self) -> None:
+        """Arrange for SIGTERM/SIGINT to trigger a graceful :meth:`drain`.
+
+        Must run inside the event loop that serves requests (the CLI calls
+        it right after :meth:`start`).  Safe to call on platforms without
+        ``loop.add_signal_handler`` — it degrades to doing nothing.
+        """
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self._begin_drain, signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                return
+
+    def _begin_drain(self, signum: int) -> None:
+        if self._draining:  # a second signal must not restart the sequence
+            return
+        if self._drain_task is None or self._drain_task.done():
+            log.info("received signal %d; draining", signum)
+            self._drain_task = asyncio.get_running_loop().create_task(self.drain())
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new work, finish in-flight, flush stats.
+
+        New heavy requests get 503 the moment draining starts (``/healthz``
+        and ``/stats`` keep answering so orchestrators can watch the
+        landing).  In-flight requests get up to ``drain_grace_s`` seconds
+        to finish; then the final stats document is flushed to the log and
+        the listener plus worker pool are stopped.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        deadline = time.monotonic() + self.drain_grace_s
+        while time.monotonic() < deadline:
+            pending = self._inflight_heavy + (self.pool.pending if self.pool else 0)
+            if pending == 0:
+                break
+            await asyncio.sleep(0.05)
+        await self.batcher.drain()
+        if self.pool is not None:
+            await self.pool.drain(grace_s=max(0.0, deadline - time.monotonic()))
+        log.info("drain complete; final stats: %s", json.dumps(self.stats(), sort_keys=True))
+        await self.stop()
 
     # ------------------------------------------------------------- HTTP layer
     async def _handle_connection(self, reader, writer) -> None:
@@ -271,22 +430,26 @@ class ReproServer:
                 pass
 
     async def _handle_one(self, reader) -> tuple[int, dict, bytes]:
+        began = time.perf_counter()
         try:
             request = await self._read_request(reader)
         except HttpError as exc:
             self._requests += 1
-            return self._count(self._error_response(exc.status, exc.message))
+            return self._count(self._error_response(exc.status, exc.message, exc.headers))
         except (asyncio.IncompleteReadError, ConnectionError):
             self._requests += 1
             return self._count(self._error_response(400, "incomplete request"))
         self._requests += 1
+        route = _route_key(request)
         try:
             return self._count(await self._dispatch(request))
         except HttpError as exc:
-            return self._count(self._error_response(exc.status, exc.message))
+            return self._count(self._error_response(exc.status, exc.message, exc.headers))
         except Exception:  # noqa: BLE001 — request isolation boundary
             log.exception("%s %s failed", request.method, request.path)
             return self._count(self._error_response(500, "internal server error"))
+        finally:
+            self.latency.observe(route, time.perf_counter() - began)
 
     def _count(self, response):
         status = response[0]
@@ -331,8 +494,13 @@ class ReproServer:
             raise HttpError(411, "POST requests need a Content-Length body")
         return _Request(method, target, headers, body)
 
-    def _error_response(self, status: int, message: str) -> tuple[int, dict, bytes]:
-        return self._json_response({"error": message}, status=status)
+    def _error_response(
+        self, status: int, message: str, headers: dict | None = None
+    ) -> tuple[int, dict, bytes]:
+        status, response_headers, body = self._json_response({"error": message}, status=status)
+        if headers:
+            response_headers.update(headers)
+        return status, response_headers, body
 
     @staticmethod
     def _json_response(doc, status: int = 200) -> tuple[int, dict, bytes]:
@@ -348,7 +516,7 @@ class ReproServer:
 
             return self._json_response(
                 {
-                    "status": "ok",
+                    "status": "draining" if self._draining else "ok",
                     "archive_root": self.archive_root,
                     "version": __version__,
                     "request_schema": REQUEST_SCHEMA,
@@ -362,6 +530,11 @@ class ReproServer:
         if parts == ["stats"]:
             self._require(req, "GET")
             return self._json_response(self.stats())
+        if self._draining:
+            # probes above stay live so orchestrators can watch the landing;
+            # everything else is refused while in-flight work finishes
+            self._draining_503 += 1
+            raise HttpError(503, "server is draining; no new work accepted")
         if parts == ["compress"]:
             self._require(req, "POST")
             return await self._handle_compress(req)
@@ -389,6 +562,86 @@ class ReproServer:
     def _require(req: _Request, method: str) -> None:
         if req.method != method:
             raise HttpError(405, f"{req.path} only supports {method}")
+
+    # ------------------------------------------------- admission and deadlines
+    def _deadline_ts(self) -> float | None:
+        """Absolute wall-clock expiry for a request arriving now (or None).
+
+        Wall clock (not monotonic) because the timestamp crosses process
+        boundaries: workers compare it against their own ``time.time()``.
+        """
+        if self.deadline_ms <= 0:
+            return None
+        return time.time() + self.deadline_ms / 1000.0
+
+    def _retry_after_s(self) -> int:
+        """Single-process backlog-drain estimate, clamped to [1, 60] s."""
+        wall = self._heavy_ewma_s or 0.5
+        return max(1, min(60, int(self._inflight_heavy * wall + 0.999)))
+
+    async def _run_heavy(self, work) -> tuple[int, dict, bytes]:
+        """Single-process guardrails around one heavy handler body.
+
+        ``work`` is a zero-arg coroutine function (not a coroutine — nothing
+        is created if admission refuses).  Applies the same admission bound
+        and deadline the pooled path gets from :class:`WorkerPool`.
+        """
+        if self._inflight_heavy >= self.queue_depth:
+            self._rejected_429 += 1
+            raise HttpError(
+                429,
+                f"{self._inflight_heavy} heavy requests in flight (bound {self.queue_depth})",
+                headers={"Retry-After": str(self._retry_after_s())},
+            )
+        deadline = self._deadline_ts()
+        self._inflight_heavy += 1
+        began = time.perf_counter()
+        try:
+            if deadline is None:
+                return await work()
+            try:
+                return await asyncio.wait_for(work(), timeout=max(0.0, deadline - time.time()))
+            except asyncio.TimeoutError:  # noqa: UP041 — distinct class on py3.10
+                self._expired_503 += 1
+                raise HttpError(503, f"deadline of {self.deadline_ms:g} ms exceeded") from None
+        finally:
+            self._inflight_heavy -= 1
+            wall = time.perf_counter() - began
+            self._heavy_ewma_s = (
+                wall if not self._heavy_ewma_s else 0.8 * self._heavy_ewma_s + 0.2 * wall
+            )
+
+    async def _pool_call(self, kind: str, payload: dict, key: str | None = None) -> dict:
+        """Submit one task to the worker pool, mapping pool failures onto
+        the same HTTP statuses the single-process guardrails produce."""
+        assert self.pool is not None
+        deadline = self._deadline_ts()
+        self._inflight_heavy += 1
+        try:
+            future = self.pool.submit(kind, payload, key=key, deadline_ts=deadline)
+            if deadline is None:
+                return await future
+            try:
+                # The worker also pre-checks expiry at dequeue (fast 503 for
+                # a backlog); this wait_for covers tasks that *started* in
+                # time but cannot finish in budget.
+                return await asyncio.wait_for(future, timeout=max(0.0, deadline - time.time()))
+            except asyncio.TimeoutError:  # noqa: UP041 — distinct class on py3.10
+                self.pool.abandon(future)
+                self._expired_503 += 1
+                raise HttpError(503, f"deadline of {self.deadline_ms:g} ms exceeded") from None
+        except PoolSaturated as exc:
+            self._rejected_429 += 1
+            raise HttpError(
+                429, str(exc), headers={"Retry-After": str(exc.retry_after_s)}
+            ) from None
+        except DeadlineExceeded:
+            self._expired_503 += 1
+            raise HttpError(503, f"deadline of {self.deadline_ms:g} ms exceeded") from None
+        except PoolTaskError as exc:
+            raise HttpError(exc.status, exc.message) from None
+        finally:
+            self._inflight_heavy -= 1
 
     # ---------------------------------------------------------------- compute
     def _compress_request(self, req: _Request):
@@ -436,38 +689,64 @@ class ReproServer:
                 f"body is {len(req.body)} bytes but shape={','.join(map(str, shape))} "
                 f"dtype={dtype} needs {expected}",
             )
+        if self.pool is not None:
+            result = await self._pool_call(
+                "compress",
+                {"request": request.to_dict(), "data": req.body, "dtype": dtype, "shape": shape},
+            )
+            payload = result["payload"]
+            headers = {
+                "X-Repro-Codec": result["codec"],
+                "X-Repro-CR": f"{result['raw_nbytes'] / max(1, len(payload)):.4f}",
+                "X-Repro-Eb-Abs": f"{result['eb_abs']:.8g}",
+            }
+            return 200, headers, payload
         data = np.frombuffer(req.body, dtype=dtype).reshape(shape)
-        try:
-            result = await self.batcher.submit(data, request)
-        except (ValueError, TypeError, KeyError) as exc:
-            raise HttpError(400, f"compression rejected: {exc}") from None
-        blob = result.blob
-        payload = await asyncio.to_thread(blob.to_bytes)  # CRCs off the loop
-        headers = {
-            "X-Repro-Codec": codec_name(blob.codec),
-            "X-Repro-CR": f"{len(req.body) / max(1, len(payload)):.4f}",
-            "X-Repro-Eb-Abs": f"{blob.error_bound:.8g}",
-        }
-        return 200, headers, payload
+
+        async def _work() -> tuple[int, dict, bytes]:
+            try:
+                result = await self.batcher.submit(data, request)
+            except (ValueError, TypeError, KeyError) as exc:
+                raise HttpError(400, f"compression rejected: {exc}") from None
+            blob = result.blob
+            payload = await asyncio.to_thread(blob.to_bytes)  # CRCs off the loop
+            headers = {
+                "X-Repro-Codec": codec_name(blob.codec),
+                "X-Repro-CR": f"{len(req.body) / max(1, len(payload)):.4f}",
+                "X-Repro-Eb-Abs": f"{blob.error_bound:.8g}",
+            }
+            return 200, headers, payload
+
+        return await self._run_heavy(_work)
 
     async def _handle_decompress(self, req: _Request) -> tuple[int, dict, bytes]:
         if not req.body:
             raise HttpError(400, "POST /decompress needs a .rpz container body")
+        if self.pool is not None:
+            result = await self._pool_call("decompress", {"data": req.body})
+            headers = {
+                "X-Repro-Shape": ",".join(str(d) for d in result["shape"]),
+                "X-Repro-Dtype": result["dtype"],
+            }
+            return 200, headers, result["payload"]
         from ..api import decompress as _decompress
 
-        def _work() -> tuple[np.ndarray, bytes]:
-            data = _decompress(req.body)
-            return data, data.tobytes()
+        async def _work() -> tuple[int, dict, bytes]:
+            def _decode() -> tuple[np.ndarray, bytes]:
+                data = _decompress(req.body)
+                return data, data.tobytes()
 
-        try:
-            data, body = await asyncio.to_thread(_work)
-        except (ContainerError, ValueError, KeyError) as exc:
-            raise HttpError(400, f"not a decodable container: {exc}") from None
-        headers = {
-            "X-Repro-Shape": ",".join(str(d) for d in data.shape),
-            "X-Repro-Dtype": data.dtype.name,
-        }
-        return 200, headers, body
+            try:
+                data, body = await asyncio.to_thread(_decode)
+            except (ContainerError, ValueError, KeyError) as exc:
+                raise HttpError(400, f"not a decodable container: {exc}") from None
+            headers = {
+                "X-Repro-Shape": ",".join(str(d) for d in data.shape),
+                "X-Repro-Dtype": data.dtype.name,
+            }
+            return 200, headers, body
+
+        return await self._run_heavy(_work)
 
     # ---------------------------------------------------------------- storage
     def _archive_path(self, name: str) -> str:
@@ -507,6 +786,22 @@ class ReproServer:
     ) -> tuple[int, dict, bytes]:
         path = self._archive_path(name)
         tile = req.query_int("tile")
+        if self.pool is not None:
+            # Shard on (archive, field) — tiles of one field share a worker
+            # cache, so repeated tile reads hit that worker's LRU.
+            result = await self._pool_call(
+                "read",
+                {"path": path, "field": field, "tile": tile},
+                key=f"{os.path.basename(path)}|{field}",
+            )
+            headers = {
+                "X-Repro-Shape": ",".join(str(d) for d in result["shape"]),
+                "X-Repro-Dtype": result["dtype"],
+                "X-Repro-Source": result["source"],
+            }
+            if result["origin"] is not None:
+                headers["X-Repro-Tile-Origin"] = ",".join(str(o) for o in result["origin"])
+            return 200, headers, result["payload"]
         key = (path, field, tile)
         cached = self.cache.get(key)
         if cached is not None:
@@ -566,12 +861,29 @@ class ReproServer:
         instead of rebuilding tables — the counters make that provable from
         the outside.  ``archive_blob_cache`` is the parsed-frame cache behind
         per-tile archive reads.
+
+        ``schema`` pins the document shape (``repro.stats/1``); ``admission``
+        tracks the 429/503 guardrails, ``latency`` holds the per-route
+        histograms, and ``pool`` is the worker-pool counter block (``None``
+        in single-process mode).
         """
         return {
+            "schema": STATS_SCHEMA,
             "uptime_s": round(time.time() - self._started_s, 3),
             "archive_root": self.archive_root,
+            "draining": self._draining,
             "requests": self._requests,
             "responses": dict(self._responses),
+            "admission": {
+                "queue_depth": self.queue_depth,
+                "deadline_ms": self.deadline_ms,
+                "inflight_heavy": self._inflight_heavy,
+                "rejected_429": self._rejected_429,
+                "expired_503": self._expired_503,
+                "draining_503": self._draining_503,
+            },
+            "latency": self.latency.snapshot(),
+            "pool": self.pool.stats() if self.pool is not None else None,
             "cache": self.cache.stats(),
             "batcher": self.batcher.stats(),
             "jobs": self.jobs.counts(),

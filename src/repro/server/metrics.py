@@ -1,0 +1,120 @@
+"""Per-endpoint latency histograms for ``GET /stats``.
+
+Mean latency hides exactly the failures a serving tier exists to prevent
+(one 8-second compress under a 40 ms median), so the server records every
+request into a fixed-bucket log-spaced histogram per endpoint *route* (the
+path template, not the concrete path — ``GET /archives/{name}`` is one
+route regardless of archive).  Buckets are geometric from 0.5 ms to ~2 min,
+which covers a cache-hit ``GET /stats`` and a 512³ compress in the same
+18-bucket table; p50/p99 are estimated by linear interpolation inside the
+owning bucket, the standard Prometheus-histogram quantile estimate.
+
+Everything is a counter — snapshots are cheap, lock-guarded, and
+monotonic, so dashboards can diff consecutive scrapes.
+
+Examples
+--------
+>>> h = LatencyHistogram()
+>>> for ms in (1, 2, 3, 400):
+...     h.observe(ms / 1000.0)
+>>> snap = h.snapshot()
+>>> snap["count"], snap["max_ms"] >= 400
+(4, True)
+>>> 1 <= snap["p50_ms"] <= 4       # median sits in the low-millisecond band
+True
+>>> snap["p99_ms"] > 100           # the stray slow request dominates p99
+True
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["LatencyHistogram", "RouteLatencies"]
+
+#: geometric bucket upper bounds in seconds: 0.5 ms ... ~131 s, then +inf
+BUCKET_BOUNDS_S = tuple(0.0005 * 2**k for k in range(18))
+
+
+class LatencyHistogram:
+    """Fixed log-spaced latency histogram with quantile estimates."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(BUCKET_BOUNDS_S) + 1)  # +1: overflow bucket
+        self._count = 0
+        self._sum_s = 0.0
+        self._min_s: float | None = None
+        self._max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one request wall time."""
+        seconds = max(0.0, float(seconds))
+        idx = 0
+        while idx < len(BUCKET_BOUNDS_S) and seconds > BUCKET_BOUNDS_S[idx]:
+            idx += 1
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum_s += seconds
+            self._max_s = max(self._max_s, seconds)
+            self._min_s = seconds if self._min_s is None else min(self._min_s, seconds)
+
+    def _quantile_locked(self, q: float) -> float:
+        """Estimate the ``q``-quantile by interpolating inside its bucket."""
+        target = q * self._count
+        seen = 0
+        for idx, count in enumerate(self._counts):
+            if not count:
+                continue
+            if seen + count >= target:
+                lo = BUCKET_BOUNDS_S[idx - 1] if idx > 0 else 0.0
+                hi = BUCKET_BOUNDS_S[idx] if idx < len(BUCKET_BOUNDS_S) else self._max_s
+                fraction = (target - seen) / count
+                return min(lo + (hi - lo) * fraction, self._max_s)
+            seen += count
+        return self._max_s
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary: counts, mean/min/max, p50/p99, bucket table."""
+        with self._lock:
+            if not self._count:
+                return {"count": 0}
+            buckets = [
+                {"le_ms": round(bound * 1000.0, 4), "count": count}
+                for bound, count in zip(BUCKET_BOUNDS_S, self._counts)
+                if count
+            ]
+            overflow = self._counts[-1]
+            if overflow:
+                buckets.append({"le_ms": None, "count": overflow})
+            return {
+                "count": self._count,
+                "mean_ms": round(self._sum_s / self._count * 1000.0, 3),
+                "min_ms": round((self._min_s or 0.0) * 1000.0, 3),
+                "max_ms": round(self._max_s * 1000.0, 3),
+                "p50_ms": round(self._quantile_locked(0.50) * 1000.0, 3),
+                "p99_ms": round(self._quantile_locked(0.99) * 1000.0, 3),
+                "buckets": buckets,
+            }
+
+
+class RouteLatencies:
+    """One :class:`LatencyHistogram` per endpoint route, created on demand."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._routes: dict[str, LatencyHistogram] = {}
+
+    def observe(self, route: str, seconds: float) -> None:
+        with self._lock:
+            hist = self._routes.get(route)
+            if hist is None:
+                hist = self._routes[route] = LatencyHistogram()
+        hist.observe(seconds)
+
+    def snapshot(self) -> dict:
+        """``{route: histogram snapshot}`` for every route seen so far."""
+        with self._lock:
+            routes = dict(self._routes)
+        return {route: hist.snapshot() for route, hist in sorted(routes.items())}

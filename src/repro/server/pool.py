@@ -1,0 +1,530 @@
+"""Multi-process worker pool: route CPU-heavy work off the frontend process.
+
+The asyncio frontend (:mod:`repro.server.app`) is excellent at sockets and
+terrible at NumPy: the hot compression path holds the GIL for hundreds of
+milliseconds at a time, so in a single process one heavy ``POST /compress``
+starves every concurrent request — including ``GET /healthz``.  This module
+puts ``N`` **worker processes** behind the frontend:
+
+* each worker runs :func:`_worker_main`: a blocking loop over its own task
+  queue, executing ``compress`` / ``decompress`` / archive ``read`` tasks
+  with the same :mod:`repro.api` calls the in-process path uses — blobs are
+  byte-identical to the single-process server;
+* tasks travel as small picklable tuples over per-worker
+  ``multiprocessing`` queues (pipe transport); results return on one shared
+  result queue drained by a dispatcher thread that resolves asyncio futures
+  via ``loop.call_soon_threadsafe``;
+* archive reads are **sharded by consistent hashing** on
+  ``(archive, field)`` (:class:`HashRing`), so each worker's byte-budgeted
+  blob cache holds a disjoint slice of the corpus instead of ``N`` copies
+  of the same hot fields;
+* compress/decompress tasks go to the least-loaded worker (fewest in-flight
+  tasks, round-robin tie-break);
+* the pool enforces **admission control**: once ``queue_depth`` tasks are
+  in flight, :meth:`WorkerPool.submit` raises :class:`PoolSaturated`
+  carrying a ``Retry-After`` estimate derived from an EWMA of recent task
+  walls (the HTTP layer turns it into a 429);
+* **deadlines** ride with each task as an absolute wall-clock timestamp;
+  a worker picking up an already-expired task skips the work and reports
+  ``expired`` (the HTTP layer's 503), so a backlog drains at queue speed
+  instead of compute speed.  The frontend additionally stops waiting at
+  the deadline and calls :meth:`WorkerPool.abandon`; a result arriving for
+  an abandoned task is counted (``expired`` if the worker skipped it,
+  ``late_results`` if it computed an answer nobody wanted) but never
+  delivered;
+* a worker that dies mid-task fails only its own in-flight tasks (500) and
+  is respawned by the dispatcher — the pool survives worker crashes.
+
+Workers are spawned (never forked) so they hold no inherited locks from the
+frontend's threads, and they ignore SIGINT/SIGTERM: shutdown is owned by
+the frontend's drain sequence, which stops admissions first and sends each
+worker a sentinel once in-flight work has settled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import itertools
+import multiprocessing
+import queue as queue_mod
+import signal
+import threading
+import time
+
+__all__ = [
+    "HashRing",
+    "WorkerPool",
+    "PoolSaturated",
+    "PoolTaskError",
+    "DeadlineExceeded",
+    "DEFAULT_QUEUE_DEPTH",
+]
+
+#: default bound on tasks in flight (queued + executing) across the pool
+DEFAULT_QUEUE_DEPTH = 64
+
+#: EWMA smoothing for completed-task wall times (Retry-After estimation)
+_EWMA_ALPHA = 0.2
+
+
+class PoolSaturated(Exception):
+    """Admission refused: the pool already holds ``queue_depth`` tasks.
+
+    ``retry_after_s`` is the backlog-drain estimate the HTTP layer reports
+    as the ``Retry-After`` header of its 429 response.
+    """
+
+    def __init__(self, retry_after_s: int, depth: int):
+        super().__init__(f"worker pool saturated ({depth} tasks in flight)")
+        self.retry_after_s = retry_after_s
+        self.depth = depth
+
+
+class DeadlineExceeded(Exception):
+    """A task expired before a worker finished (or started) it."""
+
+
+class PoolTaskError(Exception):
+    """A task failed in a worker; carries the HTTP status it maps to."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class HashRing:
+    """Consistent hashing over ``n`` workers (cache-shard routing).
+
+    Keys map deterministically to a worker index; growing the pool by one
+    worker re-homes only ``~1/n`` of the keys, so a rolling resize does not
+    cold-start every worker cache at once.  Points are MD5-derived, so the
+    mapping is stable across processes and Python runs (no ``PYTHONHASHSEED``
+    dependence — the frontend and a load generator agree on shard homes).
+
+    >>> ring = HashRing(3)
+    >>> ring.node("corpus.rpza|temperature") == ring.node("corpus.rpza|temperature")
+    True
+    >>> sorted({ring.node(f"key-{i}") for i in range(64)})  # all workers used
+    [0, 1, 2]
+    >>> HashRing(1).node("anything")
+    0
+    """
+
+    def __init__(self, nodes: int, replicas: int = 64):
+        if nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {nodes}")
+        self.nodes = int(nodes)
+        points = []
+        for node in range(self.nodes):
+            for replica in range(replicas):
+                digest = hashlib.md5(f"{node}:{replica}".encode()).digest()
+                points.append((int.from_bytes(digest[:8], "big"), node))
+        points.sort()
+        self._points = points
+
+    def node(self, key: str) -> int:
+        """The worker index owning ``key`` (first point clockwise)."""
+        h = int.from_bytes(hashlib.md5(key.encode()).digest()[:8], "big")
+        lo, hi = 0, len(self._points)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._points[mid][0] < h:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._points[lo % len(self._points)][1]
+
+
+# --------------------------------------------------------------------- worker
+
+
+def _task_status_for(exc: Exception) -> int:
+    """Map a task exception to the HTTP status the frontend would have used
+    for the same failure on the in-process path."""
+    from ..service import ArchiveError, ArchiveNotFound
+
+    if isinstance(exc, ArchiveNotFound):
+        return 404
+    if isinstance(exc, (ArchiveError, ValueError, TypeError, KeyError)):
+        return 400
+    return 500
+
+
+def _run_task(kind: str, payload: dict, cache) -> dict:
+    """Execute one task inside a worker process (pure function of payload).
+
+    Uses exactly the same :mod:`repro.api` entry points as the in-process
+    server path, so pooled and single-process responses are byte-identical.
+    """
+    import numpy as np
+
+    from .. import api
+
+    if kind == "compress":
+        from ..api import CompressionRequest
+
+        request = CompressionRequest.from_dict(payload["request"])
+        data = np.frombuffer(payload["data"], dtype=payload["dtype"]).reshape(payload["shape"])
+        result = api.compress(data, request)
+        blob_bytes = result.to_bytes()
+        return {
+            "payload": blob_bytes,
+            "codec": api.codec_name(result.blob.codec),
+            "eb_abs": float(result.blob.error_bound),
+            "raw_nbytes": len(payload["data"]),
+        }
+    if kind == "decompress":
+        data = api.decompress(payload["data"])
+        return {"payload": data.tobytes(), "shape": tuple(data.shape), "dtype": data.dtype.name}
+    if kind == "read":
+        from ..service import ArchiveStore
+
+        path, fld, tile = payload["path"], payload["field"], payload.get("tile")
+        key = (path, fld, tile)
+        cached = cache.get(key)
+        source = "worker-cache"
+        if cached is None:
+            with ArchiveStore(path, mode="r") as archive:
+                if tile is None:
+                    cached = (None, archive.get(fld))
+                else:
+                    cached = archive.get_tile(fld, tile)
+            cache.put(key, cached, nbytes=cached[1].nbytes)
+            source = "store"
+        origin, data = cached
+        return {
+            "payload": data.tobytes(),
+            "shape": tuple(data.shape),
+            "dtype": data.dtype.name,
+            "origin": tuple(origin) if origin is not None else None,
+            "source": source,
+        }
+    raise ValueError(f"unknown pool task kind {kind!r}")
+
+
+def _worker_main(worker_id: int, task_q, result_q, cache_bytes: int) -> None:
+    """One worker process: blocking task loop until the ``None`` sentinel.
+
+    Top-level (not a closure) so the ``spawn`` start method can import it;
+    SIGINT/SIGTERM are ignored because shutdown belongs to the frontend's
+    drain sequence, not to whoever signalled the process group.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    from ..core.cache import ByteBudgetLRU
+
+    cache = ByteBudgetLRU(cache_bytes)
+    while True:
+        item = task_q.get()
+        if item is None:
+            break
+        task_id, kind, deadline_ts, payload = item
+        if deadline_ts is not None and time.time() > deadline_ts:
+            result_q.put((task_id, "expired", None))
+            continue
+        try:
+            result_q.put((task_id, "ok", _run_task(kind, payload, cache)))
+        except Exception as exc:  # noqa: BLE001 — per-task isolation boundary
+            result_q.put((task_id, "error", (_task_status_for(exc), f"{exc}")))
+
+
+# ----------------------------------------------------------------- dispatcher
+
+
+class _Pending:
+    """Book-keeping for one in-flight task."""
+
+    __slots__ = ("future", "loop", "worker", "t0", "abandoned")
+
+    def __init__(self, future, loop, worker: int, t0: float):
+        self.future = future
+        self.loop = loop
+        self.worker = worker
+        self.t0 = t0
+        self.abandoned = False
+
+
+def _resolve(future: asyncio.Future, exc: Exception | None, value) -> None:
+    """Resolve a future from the loop thread, tolerating earlier timeouts."""
+    if future.done():  # deadline already fired wait_for's cancellation
+        return
+    if exc is not None:
+        future.set_exception(exc)
+    else:
+        future.set_result(value)
+
+
+class WorkerPool:
+    """Dispatcher over ``workers`` processes (the ``--workers-procs`` tier).
+
+    Construct, then :meth:`start` (blocking — spawn it off the event loop
+    with ``asyncio.to_thread``); :meth:`submit` returns an asyncio future
+    and must be called from the loop thread.  ``cache_bytes`` is the *total*
+    read-cache budget, split evenly across the worker shards.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        cache_bytes: int = 0,
+        start_method: str = "spawn",
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.workers = int(workers)
+        self.queue_depth = int(queue_depth)
+        self.cache_bytes = int(cache_bytes)
+        self._ctx = multiprocessing.get_context(start_method)
+        self._ring = HashRing(self.workers)
+        self._task_queues = [self._ctx.Queue() for _ in range(self.workers)]
+        self._result_queue = self._ctx.Queue()
+        self._procs: list = [None] * self.workers
+        self._pending: dict[int, _Pending] = {}
+        self._ids = itertools.count(1)
+        self._rr = itertools.count()
+        self._lock = threading.Lock()
+        self._dispatcher: threading.Thread | None = None
+        self._closed = False
+        # Counters surfaced in GET /stats.
+        self._dispatched = 0
+        self._completed = 0
+        self._errors = 0
+        self._expired = 0
+        self._rejected = 0
+        self._late = 0
+        self._worker_restarts = 0
+        self._cache_hits = 0
+        self._depth_high_water = 0
+        self._ewma_wall_s = 0.0
+        self._per_worker = [0] * self.workers
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Spawn the workers and the dispatcher thread (blocking)."""
+        for wid in range(self.workers):
+            self._spawn_worker(wid)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-pool-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    def _spawn_worker(self, wid: int) -> None:
+        shard_bytes = self.cache_bytes // self.workers
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, self._task_queues[wid], self._result_queue, shard_bytes),
+            name=f"repro-worker-{wid}",
+            daemon=True,
+        )
+        proc.start()
+        self._procs[wid] = proc
+
+    def close(self, join_s: float = 5.0) -> None:
+        """Stop admissions, fail whatever is still pending, stop the workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            leftovers = list(self._pending.items())
+            self._pending.clear()
+        for _, entry in leftovers:
+            entry.loop.call_soon_threadsafe(
+                _resolve, entry.future, PoolTaskError(503, "server shutting down"), None
+            )
+        for q in self._task_queues:
+            try:
+                q.put(None)
+            except (ValueError, OSError):
+                pass
+        deadline = time.monotonic() + join_s
+        for proc in self._procs:
+            if proc is None:
+                continue
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=join_s)
+
+    async def drain(self, grace_s: float = 30.0) -> bool:
+        """Wait (up to ``grace_s``) for in-flight tasks to settle; returns
+        whether the pool emptied.  Admission must already be stopped by the
+        caller — the pool itself keeps accepting until :meth:`close`."""
+        deadline = time.monotonic() + grace_s
+        while self.pending and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        return not self.pending
+
+    # ----------------------------------------------------------------- submit
+    @property
+    def pending(self) -> int:
+        """Tasks in flight (queued + executing) across the pool."""
+        with self._lock:
+            return len(self._pending)
+
+    def retry_after_s(self) -> int:
+        """Backlog-drain estimate: pending × EWMA wall ÷ workers, in [1, 60]."""
+        with self._lock:
+            return self._retry_after_locked()
+
+    def _retry_after_locked(self) -> int:
+        wall = self._ewma_wall_s or 0.5
+        estimate = len(self._pending) * wall / self.workers
+        return max(1, min(60, int(estimate + 0.999)))
+
+    def submit(self, kind: str, payload: dict, key: str | None = None,
+               deadline_ts: float | None = None) -> asyncio.Future:
+        """Queue one task; resolves to the worker's result dict.
+
+        ``key`` pins the task to its consistent-hash shard (archive reads);
+        without it the least-loaded worker wins.  Raises
+        :class:`PoolSaturated` when ``queue_depth`` tasks are already in
+        flight — admission control happens *here*, before any bytes hit a
+        queue.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        with self._lock:
+            if self._closed:
+                raise PoolTaskError(503, "server shutting down")
+            depth = len(self._pending)
+            if depth >= self.queue_depth:
+                self._rejected += 1
+                raise PoolSaturated(self._retry_after_locked(), depth)
+            task_id = next(self._ids)
+            wid = self._route_locked(key)
+            self._pending[task_id] = _Pending(future, loop, wid, time.perf_counter())
+            self._dispatched += 1
+            self._per_worker[wid] += 1
+            self._depth_high_water = max(self._depth_high_water, depth + 1)
+        self._task_queues[wid].put((task_id, kind, deadline_ts, payload))
+        return future
+
+    def abandon(self, future: asyncio.Future) -> None:
+        """Mark ``future``'s task as given-up-on (its deadline fired in the
+        frontend).  The task stays pending — the worker may already be
+        computing it and drain still waits for it — but its eventual result
+        is only counted (``expired`` or ``late_results``), never delivered.
+        """
+        with self._lock:
+            for entry in self._pending.values():
+                if entry.future is future:
+                    entry.abandoned = True
+                    return
+
+    def _route_locked(self, key: str | None) -> int:
+        if key is not None:
+            return self._ring.node(key)
+        inflight = [0] * self.workers
+        for entry in self._pending.values():
+            inflight[entry.worker] += 1
+        start = next(self._rr) % self.workers
+        order = [(inflight[(start + i) % self.workers], (start + i) % self.workers)
+                 for i in range(self.workers)]
+        return min(order)[1]
+
+    # --------------------------------------------------------------- dispatch
+    def _dispatch_loop(self) -> None:
+        while True:
+            try:
+                item = self._result_queue.get(timeout=0.5)
+            except queue_mod.Empty:
+                if self._closed and not self._pending:
+                    return
+                self._reap_dead_workers()
+                continue
+            if item is None:
+                return
+            self._handle_result(*item)
+            if self._closed and not self._pending:
+                return
+
+    def _handle_result(self, task_id: int, status: str, value) -> None:
+        with self._lock:
+            entry = self._pending.pop(task_id, None)
+            if entry is None:
+                self._late += 1
+                return
+            if entry.abandoned:
+                # The frontend gave up on this task (deadline) before the
+                # worker reported back.  An "expired" status means the worker
+                # skipped it at dequeue; anything else is work nobody wanted.
+                if status == "expired":
+                    self._expired += 1
+                else:
+                    self._late += 1
+                return
+            wall = time.perf_counter() - entry.t0
+            if status == "ok":
+                self._completed += 1
+                self._ewma_wall_s = (
+                    wall if not self._ewma_wall_s
+                    else (1 - _EWMA_ALPHA) * self._ewma_wall_s + _EWMA_ALPHA * wall
+                )
+                if isinstance(value, dict) and value.get("source") == "worker-cache":
+                    self._cache_hits += 1
+            elif status == "expired":
+                self._expired += 1
+            else:
+                self._errors += 1
+        if status == "ok":
+            entry.loop.call_soon_threadsafe(_resolve, entry.future, None, value)
+        elif status == "expired":
+            entry.loop.call_soon_threadsafe(
+                _resolve, entry.future, DeadlineExceeded("deadline expired in queue"), None
+            )
+        else:
+            http_status, message = value
+            entry.loop.call_soon_threadsafe(
+                _resolve, entry.future, PoolTaskError(http_status, message), None
+            )
+
+    def _reap_dead_workers(self) -> None:
+        """Fail tasks stranded on dead workers, then respawn the workers."""
+        for wid, proc in enumerate(self._procs):
+            if proc is None or proc.is_alive() or self._closed:
+                continue
+            with self._lock:
+                stranded = [
+                    (tid, entry) for tid, entry in self._pending.items() if entry.worker == wid
+                ]
+                for tid, _ in stranded:
+                    del self._pending[tid]
+                self._errors += len(stranded)
+                self._worker_restarts += 1
+            for _, entry in stranded:
+                entry.loop.call_soon_threadsafe(
+                    _resolve,
+                    entry.future,
+                    PoolTaskError(500, f"worker {wid} died (exit {proc.exitcode}); respawned"),
+                    None,
+                )
+            self._spawn_worker(wid)
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> dict:
+        """Counter snapshot (the ``pool`` block of ``GET /stats``)."""
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "queue_depth": self.queue_depth,
+                "pending": len(self._pending),
+                "depth_high_water": self._depth_high_water,
+                "dispatched": self._dispatched,
+                "completed": self._completed,
+                "errors": self._errors,
+                "expired": self._expired,
+                "rejected": self._rejected,
+                "late_results": self._late,
+                "worker_restarts": self._worker_restarts,
+                "read_cache_hits": self._cache_hits,
+                "ewma_wall_s": round(self._ewma_wall_s, 6),
+                "per_worker_dispatched": list(self._per_worker),
+                "pids": [p.pid if p is not None else None for p in self._procs],
+            }

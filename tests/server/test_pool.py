@@ -1,0 +1,163 @@
+"""Worker-pool tier: pooled serving must be indistinguishable from
+single-process serving — same bytes, same headers, same error mapping —
+while the work actually happens in spawned processes.
+
+These tests boot real multi-process servers (``worker_procs=2``), so they
+exercise spawn, the pipe transport, the dispatcher thread and the
+consistent-hash cache shards end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.server import STATS_SCHEMA, HashRing
+
+
+class TestHashRing:
+    def test_deterministic_and_covers_all_nodes(self):
+        ring = HashRing(3)
+        keys = [f"corpus.rpza|field-{i}" for i in range(128)]
+        homes = [ring.node(k) for k in keys]
+        assert homes == [ring.node(k) for k in keys], "routing must be deterministic"
+        assert set(homes) == {0, 1, 2}, "128 keys must spread over all 3 workers"
+
+    def test_resize_moves_few_keys(self):
+        """Consistent hashing's point: adding a worker re-homes ~1/n of the
+        keys, not all of them."""
+        keys = [f"archive|f{i}" for i in range(256)]
+        before = [HashRing(4).node(k) for k in keys]
+        after = [HashRing(5).node(k) for k in keys]
+        moved = sum(1 for b, a in zip(before, after) if b != a)
+        assert moved < len(keys) // 2, f"{moved}/256 keys moved on a 4 -> 5 resize"
+
+    def test_single_node_and_validation(self):
+        assert HashRing(1).node("anything") == 0
+        with pytest.raises(ValueError):
+            HashRing(0)
+
+
+class TestPooledServing:
+    def test_pooled_results_match_single_process(self, serve, http, field16, seeded_archive):
+        """One scenario, every heavy endpoint: the pooled server's compress
+        blob, decompress bytes, field/tile reads and /stats pool counters,
+        checked against the single-process server's bytes."""
+        shape = ",".join(map(str, field16.shape))
+
+        async def scenario(server):
+            comp = await http(
+                server, "POST", f"/compress?shape={shape}&eb=1e-3", field16.tobytes()
+            )
+            assert comp.status == 200
+            deco = await http(server, "POST", "/decompress", comp.body)
+            assert deco.status == 200
+            plain = await http(server, "GET", "/archives/corpus/fields/plain")
+            assert plain.status == 200
+            tile = await http(server, "GET", "/archives/corpus/fields/tiled?tile=3")
+            assert tile.status == 200
+            again = await http(server, "GET", "/archives/corpus/fields/plain")
+            assert again.status == 200
+            stats = (await http(server, "GET", "/stats")).json()
+            return comp, deco, plain, tile, again, stats
+
+        single = serve(scenario)
+        pooled = serve(scenario, worker_procs=2, cache_bytes=1 << 20)
+
+        s_comp, s_deco, s_plain, s_tile, _, s_stats = single
+        p_comp, p_deco, p_plain, p_tile, p_again, p_stats = pooled
+        assert p_comp.body == s_comp.body, "pooled compress must be byte-identical"
+        for header in ("x-repro-codec", "x-repro-cr", "x-repro-eb-abs"):
+            assert p_comp.headers[header] == s_comp.headers[header]
+        assert p_deco.body == s_deco.body
+        assert p_deco.headers["x-repro-shape"] == s_deco.headers["x-repro-shape"]
+        assert p_plain.body == s_plain.body
+        assert p_tile.body == s_tile.body
+        assert p_tile.headers["x-repro-tile-origin"] == s_tile.headers["x-repro-tile-origin"]
+        # Second read of the same field lands on the same shard's LRU.
+        assert p_again.headers["x-repro-source"] == "worker-cache"
+
+        assert s_stats["pool"] is None
+        pool = p_stats["pool"]
+        assert pool["workers"] == 2
+        assert pool["completed"] >= 5
+        assert pool["errors"] == 0 and pool["worker_restarts"] == 0
+        assert pool["read_cache_hits"] >= 1
+        assert len(pool["pids"]) == 2 and all(isinstance(p, int) for p in pool["pids"])
+
+    def test_pooled_error_mapping(self, serve, http):
+        """Worker-side failures map onto the single-process statuses: garbage
+        container -> 400, missing archive -> 404 — never a 500."""
+
+        async def scenario(server):
+            bad = await http(server, "POST", "/decompress", b"this is not a container")
+            missing = await http(server, "GET", "/archives/nope/fields/f")
+            return bad, missing
+
+        bad, missing = serve(scenario, worker_procs=2)
+        assert bad.status == 400
+        assert b"error" in bad.body
+        assert missing.status == 404
+
+    def test_stats_schema_is_versioned(self, serve, http, field16):
+        """``repro.stats/1``: the counter sections dashboards pin, including
+        the per-route latency histograms the guardrails feed."""
+        shape = ",".join(map(str, field16.shape))
+
+        async def scenario(server):
+            assert (
+                await http(server, "POST", f"/compress?shape={shape}&eb=1e-3", field16.tobytes())
+            ).status == 200
+            assert (await http(server, "GET", "/healthz")).status == 200
+            assert (await http(server, "GET", "/stats")).status == 200
+            # A request is observed as it completes, so the second scrape is
+            # the one that can see "GET /stats" itself.
+            return (await http(server, "GET", "/stats")).json()
+
+        stats = serve(scenario)
+        assert stats["schema"] == STATS_SCHEMA == "repro.stats/1"
+        assert stats["draining"] is False
+        admission = stats["admission"]
+        assert set(admission) == {
+            "queue_depth",
+            "deadline_ms",
+            "inflight_heavy",
+            "rejected_429",
+            "expired_503",
+            "draining_503",
+        }
+        assert admission["rejected_429"] == 0 and admission["expired_503"] == 0
+        compress_hist = stats["latency"]["POST /compress"]
+        assert compress_hist["count"] == 1
+        assert 0 < compress_hist["p50_ms"] <= compress_hist["p99_ms"] <= compress_hist["max_ms"]
+        assert any(b["count"] for b in compress_hist["buckets"])
+        assert stats["latency"]["GET /healthz"]["count"] == 1
+        assert stats["latency"]["GET /stats"]["count"] >= 1
+
+
+def test_route_key_collapses_names():
+    from repro.server.app import _Request, _route_key
+
+    cases = {
+        "/archives/a.rpza": "GET /archives/{name}",
+        "/archives/a/fields/temp": "GET /archives/{name}/fields/{field}",
+        "/jobs/j123": "GET /jobs/{id}",
+        "/stats": "GET /stats",
+    }
+    for target, expected in cases.items():
+        req = _Request("GET", target, {}, b"")
+        assert _route_key(req) == expected
+
+
+def test_worker_runs_in_separate_process(serve, http):
+    """The point of the tier: pooled work executes under different PIDs than
+    the frontend."""
+    import os
+
+    async def scenario(server):
+        stats = (await http(server, "GET", "/stats")).json()
+        return stats["pool"]["pids"]
+
+    pids = serve(scenario, worker_procs=2)
+    assert os.getpid() not in pids
+    assert len(set(pids)) == 2

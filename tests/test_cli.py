@@ -366,7 +366,35 @@ class TestServeCommand:
 
         sub = dict(_iter_subparsers(build_parser()))["serve"]
         flags = {s for a in sub._actions for s in a.option_strings}
-        assert {"--host", "--port", "--cache-bytes", "--workers"} <= flags
+        assert {
+            "--host",
+            "--port",
+            "--cache-bytes",
+            "--workers",
+            "--workers-procs",
+            "--queue-depth",
+            "--deadline-ms",
+        } <= flags
+
+    def test_serve_pool_flag_defaults_match_docs(self):
+        """docs/OPERATIONS.md documents these defaults; drift fails here."""
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "."])
+        assert args.workers_procs == 1  # single-process unless asked
+        assert args.queue_depth == 64
+        assert args.deadline_ms == 0.0  # no deadline unless asked
+
+    def test_serve_rejects_bad_pool_config_cleanly(self, tmp_path, capsys):
+        rc = main(["serve", str(tmp_path), "--workers-procs", "-3"])
+        assert rc == 2
+        assert "worker_procs" in capsys.readouterr().err
+        rc = main(["serve", str(tmp_path), "--queue-depth", "0"])
+        assert rc == 2
+        assert "queue_depth" in capsys.readouterr().err
+        rc = main(["serve", str(tmp_path), "--deadline-ms", "-1"])
+        assert rc == 2
+        assert "deadline_ms" in capsys.readouterr().err
 
     def test_serve_bad_bind_is_clean_error(self, tmp_path, capsys):
         # Grab a port first; serving on it must exit 2 + stderr, no traceback.

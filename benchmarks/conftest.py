@@ -91,6 +91,32 @@ def rng():
 
 
 @pytest.fixture(scope="session")
+def eval_report(tmp_path_factory):
+    """Factory: run a committed ``configs/<name>.toml`` matrix through the
+    orchestrator once per session and return its report document.
+
+    The fig/table benchmark files are thin assertions over these reports
+    (the orchestrator executes the same harness kernel path the old
+    hand-rolled sweeps did, so the numbers are identical).
+    """
+    from repro.evaluation import build_report, load_config, run_eval
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    cache: dict[str, dict] = {}
+
+    def _report(name: str) -> dict:
+        if name not in cache:
+            cfg = load_config(os.path.join(root, "configs", f"{name}.toml"))
+            archive = tmp_path_factory.mktemp("eval") / f"{name}.rpza"
+            run = run_eval(cfg, str(archive))
+            assert run.ok, f"{name}: failed cells {run.failed}"
+            cache[name] = build_report(run)
+        return cache[name]
+
+    return _report
+
+
+@pytest.fixture(scope="session")
 def eval_fields() -> dict[str, np.ndarray]:
     """One field per paper dataset at default (scaled-down) shape."""
     return {name: load(name, seed=0) for name in DATASETS}

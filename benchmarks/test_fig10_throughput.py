@@ -19,7 +19,7 @@ import pytest
 from repro.analysis import EVAL_ORDER, format_table, run_case
 from repro.gpu.device import A100_SXM_80GB, RTX_6000_ADA
 
-from bench_params import EVAL_EBS
+from repro.evaluation.grids import EVAL_EBS
 
 DEVICES = (A100_SXM_80GB, RTX_6000_ADA)
 

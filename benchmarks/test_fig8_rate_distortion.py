@@ -1,8 +1,10 @@
 """Fig. 8: rate-distortion assessment (PSNR vs bitrate) on all six datasets.
 
-Sweeps error bounds for the fixed-eb compressors and rates for cuZFP, prints
-the curves, and asserts the paper's dominance relations in the high-ratio
-(low-bitrate) region the zoomed panels highlight:
+The sweep itself is the committed ``configs/fig8.toml`` matrix run through
+the ``repro.evaluation`` orchestrator (one command: ``repro eval
+configs/fig8.toml``); this file only rebuilds the curves from the report
+and asserts the paper's dominance relations in the high-ratio (low-bitrate)
+region the zoomed panels highlight:
 
 * cuSZ-Hi-CR delivers the best (or tied-best) PSNR at matched low bitrates;
 * cuSZ-Hi-TP stays close to CR mode and beats cuSZ-IB in many cases;
@@ -14,22 +16,24 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis import format_table, rd_curve, rd_curve_zfp
+from repro.analysis import format_table
+from repro.analysis.rate_distortion import RDCurve, RDPoint
+from repro.evaluation import cell_table
+from repro.evaluation.grids import RD_COMPRESSORS, RD_DATASETS
 
-RD_COMPRESSORS = ("cusz-hi-cr", "cusz-hi-tp", "cusz-ib", "cusz-l", "cuszp2")
-RD_EBS = (1e-2, 3e-3, 1e-3, 3e-4, 1e-4)
-RD_DATASETS = ("cesm-atm", "jhtdb", "miranda", "nyx", "qmcpack", "rtm")
+
+def _curves_from_report(doc: dict) -> dict[str, dict[str, RDCurve]]:
+    """Rebuild per-dataset RDCurve objects from the eval report's cells."""
+    out: dict[str, dict[str, RDCurve]] = {ds: {} for ds in RD_DATASETS}
+    for (ds, variant, control), cell in cell_table(doc).items():
+        curve = out[ds].setdefault(variant, RDCurve(variant))
+        curve.points.append(RDPoint(control, cell["bitrate"], cell["psnr"], cell["cr"]))
+    return out
 
 
 @pytest.fixture(scope="module")
-def curves(eval_fields):
-    out = {}
-    for ds in RD_DATASETS:
-        data = eval_fields[ds]
-        per = {name: rd_curve(name, data, ebs=RD_EBS) for name in RD_COMPRESSORS}
-        per["cuzfp"] = rd_curve_zfp(data, rates=(2.0, 4.0, 8.0, 12.0))
-        out[ds] = per
-    return out
+def curves(eval_report):
+    return _curves_from_report(eval_report("fig8"))
 
 
 def test_print_fig8(curves):
@@ -46,6 +50,12 @@ def test_print_fig8(curves):
                 title=f"Fig. 8 — rate-distortion on {ds}",
             )
         )
+
+
+def test_report_covers_matrix(curves):
+    """Every configured compressor contributes a full curve per dataset."""
+    for ds, per in curves.items():
+        assert set(per) == set(RD_COMPRESSORS) | {"cuzfp"}, ds
 
 
 def _low_bitrate_probe(per) -> float:

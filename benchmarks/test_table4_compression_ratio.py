@@ -1,7 +1,8 @@
 """Table 4: fixed-error-bound compression ratios.
 
-Regenerates the paper's main table — 6 datasets x 3 relative error bounds x
-7 fixed-eb compressors — and asserts the headline claims:
+The 6 datasets x 3 bounds x 7 compressors sweep is the committed
+``configs/table4.toml`` matrix run through the ``repro.evaluation``
+orchestrator; this file indexes the report and asserts the headline claims:
 
 * cuSZ-Hi (one of its two modes) posts the best CR in the large-bound rows;
 * the open-source advantage over non-proprietary baselines is large;
@@ -15,9 +16,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import EVAL_ORDER, format_table, run_case
-
-from bench_params import EVAL_EBS
+from repro.analysis import EVAL_ORDER, format_table
+from repro.evaluation import cell_table
+from repro.evaluation.grids import EVAL_EBS, TABLE4_DATASETS
 
 #: paper Table 4 values (cuSZ-Hi-CR, cuSZ-Hi-TP, ..., fzgpu) for reference
 PAPER_TABLE4 = {
@@ -43,15 +44,12 @@ PAPER_TABLE4 = {
 
 
 @pytest.fixture(scope="module")
-def table4(eval_fields):
+def table4(eval_report):
+    cells = cell_table(eval_report("table4"))
     results: dict[tuple[str, float], dict[str, float]] = {}
-    for ds, data in eval_fields.items():
-        if ds in ("hurricane", "scale-letkf"):
-            continue  # Fig. 6-only datasets; Table 4 covers the Table 3 six
+    for ds in TABLE4_DATASETS:
         for eb in EVAL_EBS:
-            results[(ds, eb)] = {
-                name: run_case(name, data, eb).cr for name in EVAL_ORDER
-            }
+            results[(ds, eb)] = {name: cells[(ds, name, eb)]["cr"] for name in EVAL_ORDER}
     return results
 
 
@@ -77,7 +75,7 @@ def test_print_table4(table4):
     )
 
 
-def test_cusz_hi_wins_large_bounds(table4, eval_fields):
+def test_cusz_hi_wins_large_bounds(table4):
     """Paper: cuSZ-Hi has the best CR in (almost) all 1e-2 / 1e-3 cases."""
     wins = 0
     cases = 0

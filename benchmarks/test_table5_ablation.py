@@ -1,19 +1,21 @@
 """Table 5: ablation study — cuSZ-IB to cuSZ-Hi-CR, one design at a time.
 
-Reproduces the paper's increment chain on the four datasets it uses (JHTDB,
-Miranda, Nyx, RTM) at eb = 1e-2 and 1e-3, asserting that the cumulative
-stack ends well ahead of the baseline and that the paper's strongest single
-increments are positive here too.
+The increment chain on the four paper datasets (JHTDB, Miranda, Nyx, RTM)
+at eb = 1e-2 and 1e-3 is the committed ``configs/table5.toml`` matrix run
+through the ``repro.evaluation`` orchestrator; this file rebuilds the
+per-(dataset, eb) ablation rows from the report and asserts that the
+cumulative stack ends well ahead of the baseline and that the paper's
+strongest single increments are positive here too.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.analysis import ABLATION_STEPS, format_table, run_ablation
-
-ABLATION_DATASETS = ("jhtdb", "miranda", "nyx", "rtm")
-ABLATION_EBS = (1e-2, 1e-3)
+from repro.analysis import ABLATION_STEPS, format_table
+from repro.analysis.ablation import AblationRow
+from repro.evaluation import cell_table
+from repro.evaluation.grids import ABLATION_DATASETS, ABLATION_EBS
 
 #: paper Table 5 cumulative multiples (cuSZ-IB -> cuSZ-Hi-CR)
 PAPER_FINAL_MULTIPLE = {
@@ -29,11 +31,14 @@ PAPER_FINAL_MULTIPLE = {
 
 
 @pytest.fixture(scope="module")
-def ablation_rows(eval_fields):
+def ablation_rows(eval_report):
+    cells = cell_table(eval_report("table5"))
+    labels = [label for label, _ in ABLATION_STEPS]
     rows = {}
     for ds in ABLATION_DATASETS:
         for eb in ABLATION_EBS:
-            rows[(ds, eb)] = run_ablation(ds, eval_fields[ds], eb)
+            crs = {label: cells[(ds, label, eb)]["cr"] for label in labels}
+            rows[(ds, eb)] = AblationRow(dataset=ds, eb=eb, crs=crs)
     return rows
 
 

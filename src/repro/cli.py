@@ -7,6 +7,8 @@ Usage::
     repro info      out.rpz
     repro bench     --dataset nyx --eb 1e-3
     repro batch     corpus.toml -o corpus.rpza --report report.json
+    repro eval      configs/fig8.toml --markdown fig8.md
+    repro eval      configs/table4.toml -o table4.json --executor processes
     repro archive   ls corpus.rpza
     repro archive   get corpus.rpza temperature -o temp.f32
     repro archive   verify corpus.rpza --deep
@@ -243,6 +245,66 @@ def _cmd_batch(args) -> int:
         f"({report.executor} x{report.workers}, {report.wall_s:.2f}s)"
     )
     return 0 if report.ok else 1
+
+
+def _cmd_eval(args) -> int:
+    from .evaluation import (
+        ConfigError,
+        build_report,
+        load_config,
+        render_html,
+        render_markdown,
+        run_eval,
+        write_report,
+    )
+    from .service import ArchiveError
+
+    try:
+        cfg = load_config(args.config)
+    except ConfigError as exc:
+        return _fail(str(exc))
+    archive = args.archive or f"EVAL_{cfg.name}.rpza"
+    try:
+        run = run_eval(
+            cfg,
+            archive,
+            resume=not args.no_resume,
+            executor=args.executor,
+            workers=args.workers,
+        )
+    except (ArchiveError, OSError) as exc:
+        return _fail(str(exc))
+    report = build_report(run)
+    output = args.output or f"EVAL_{cfg.name}.json"
+    try:
+        write_report(report, output)
+        if args.markdown:
+            with open(args.markdown, "w", encoding="utf-8") as fh:
+                fh.write(render_markdown(report) + "\n")
+        if args.html:
+            with open(args.html, "w", encoding="utf-8") as fh:
+                fh.write(render_html(report))
+    except OSError as exc:
+        # The archive already holds every finished cell; only a rendering
+        # target is lost, and a rerun resumes for free.
+        return _fail(f"cannot write report: {exc.strerror or exc}")
+    resumed = set(run.resumed)
+    for r in run.cells:
+        if r.status == "failed":
+            print(f"  FAILED  {r.cell:44s} {r.error}")
+        elif r.cell in resumed:
+            print(f"  resumed {r.cell:44s} CR={r.cr:8.2f}  (from archive)")
+        else:
+            print(
+                f"  ok      {r.cell:44s} CR={r.cr:8.2f}  PSNR={r.psnr:6.1f}  "
+                f"{r.wall_s:6.2f}s"
+            )
+    print(
+        f"{cfg.name}: {len(run.executed)} executed, {len(run.resumed)} resumed, "
+        f"{len(run.failed)} failed -> {output} "
+        f"({run.executor} x{run.workers}, {run.wall_s:.2f}s, archive {archive})"
+    )
+    return 0 if run.ok else 1
 
 
 def _open_archive(path: str):
@@ -547,6 +609,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="archive backend (default: dir if OUTPUT is an existing directory)",
     )
     pba.set_defaults(func=_cmd_batch)
+
+    pe = _add_command(
+        sub,
+        "eval",
+        "run a paper figure/table experiment matrix from a TOML config",
+        "docs/EVALUATION.md (config reference, resume semantics, report schema)",
+    )
+    pe.add_argument(
+        "config", help="TOML/JSON experiment config (e.g. configs/fig8.toml)"
+    )
+    pe.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="where to write the repro.eval-report/1 JSON (default EVAL_<name>.json)",
+    )
+    pe.add_argument(
+        "--markdown", default=None, metavar="PATH", help="also render the report as markdown"
+    )
+    pe.add_argument(
+        "--html", default=None, metavar="PATH", help="also render the report as HTML"
+    )
+    pe.add_argument(
+        "--archive",
+        default=None,
+        help="cell archive backing resume (.rpza file or dir; default EVAL_<name>.rpza)",
+    )
+    pe.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="re-execute every cell (default: skip cells already in the archive)",
+    )
+    pe.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default=None,
+        help="cell-level executor (default: the config's execution.executor)",
+    )
+    pe.add_argument(
+        "--workers", type=int, default=None, help="cell-parallel workers (0 = CPU count)"
+    )
+    pe.set_defaults(func=_cmd_eval)
 
     pa = _add_command(
         sub,

@@ -1,0 +1,72 @@
+"""``repro.evaluation`` — the TOML-driven experiment-matrix orchestrator.
+
+One command reproduces a paper figure/table: a declarative config
+(``configs/fig8.toml``, ``configs/table4.toml``, ...) expands into an
+ordered run table of cells (datasets x codecs x error bounds x tilings),
+the runner executes them through the shared executor pool with
+archive-backed resume, and the report layer emits a schema-versioned
+``repro.eval-report/1`` JSON plus markdown/HTML renderings:
+
+>>> from repro.evaluation import expand, parse_config
+>>> cfg = parse_config({
+...     "eval": {"kind": "cr-table"},
+...     "matrix": {"datasets": ["nyx"], "codecs": ["cusz-hi-cr"],
+...                "ebs": [1e-2]},
+...     "datasets": {"nyx": {"shape": [8, 8, 8]}},
+... })
+>>> [c.cell_id for c in expand(cfg)]
+['nyx/cusz-hi-cr@eb0.01']
+
+CLI surface: ``repro eval <config.toml>`` (see docs/EVALUATION.md).
+"""
+
+from __future__ import annotations
+
+from .config import (
+    KINDS,
+    ConfigError,
+    DatasetRef,
+    EvalConfig,
+    ablation_step_labels,
+    load_config,
+    parse_config,
+)
+from .matrix import EvalCell, cell_label, expand
+from .report import (
+    EVAL_REPORT_SCHEMA,
+    build_report,
+    canonical_report,
+    cell_table,
+    load_report,
+    rd_curves,
+    render_html,
+    render_markdown,
+    write_report,
+)
+from .runner import CellResult, EvalRun, cell_request, run_eval
+
+__all__ = [
+    "KINDS",
+    "EVAL_REPORT_SCHEMA",
+    "ConfigError",
+    "DatasetRef",
+    "EvalConfig",
+    "EvalCell",
+    "CellResult",
+    "EvalRun",
+    "ablation_step_labels",
+    "build_report",
+    "canonical_report",
+    "cell_label",
+    "cell_request",
+    "cell_table",
+    "expand",
+    "load_config",
+    "load_report",
+    "parse_config",
+    "rd_curves",
+    "render_html",
+    "render_markdown",
+    "run_eval",
+    "write_report",
+]

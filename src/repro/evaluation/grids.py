@@ -1,0 +1,46 @@
+"""The paper's evaluation grids, declared once.
+
+Every figure/table sweep in the paper draws from the same handful of axes
+(which datasets, which compressors, which error bounds / rates).  Before
+this module existed those grids were re-declared in each
+``benchmarks/test_fig*.py`` / ``test_table*.py`` file and in
+``benchmarks/bench_params.py``; now the benchmark harnesses, the committed
+``configs/*.toml`` experiment configs and the orchestrator's defaults all
+read them from here, and :mod:`tests.evaluation` pins the committed configs
+against these values so the two representations cannot drift.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EVAL_EBS",
+    "RD_EBS",
+    "RD_COMPRESSORS",
+    "RD_DATASETS",
+    "ZFP_RATES",
+    "TABLE4_DATASETS",
+    "ABLATION_DATASETS",
+    "ABLATION_EBS",
+]
+
+#: Table 4 / Fig. 8 / Fig. 10 relative-error-bound grid
+EVAL_EBS = (1e-2, 1e-3, 1e-4)
+
+#: Fig. 8 rate-distortion sweep: denser in the low-bitrate region the
+#: paper's zoomed panels highlight
+RD_EBS = (1e-2, 3e-3, 1e-3, 3e-4, 1e-4)
+
+#: Fig. 8 fixed-eb compressor line-up (cuZFP sweeps rates instead)
+RD_COMPRESSORS = ("cusz-hi-cr", "cusz-hi-tp", "cusz-ib", "cusz-l", "cuszp2")
+
+#: the Table 3 six (Fig. 8 / Table 4 datasets; hurricane and scale-letkf
+#: appear only in the Fig. 6 lossless benchmark)
+RD_DATASETS = ("cesm-atm", "jhtdb", "miranda", "nyx", "qmcpack", "rtm")
+TABLE4_DATASETS = RD_DATASETS
+
+#: cuZFP fixed-rate sweep (bits per value) for the Fig. 8 curves
+ZFP_RATES = (2.0, 4.0, 8.0, 12.0)
+
+#: Table 5 ablation: the four datasets and two bounds the paper uses
+ABLATION_DATASETS = ("jhtdb", "miranda", "nyx", "rtm")
+ABLATION_EBS = (1e-2, 1e-3)

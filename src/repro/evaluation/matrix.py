@@ -1,0 +1,134 @@
+"""Matrix expansion: a parsed config into its ordered tuple of run cells.
+
+Expansion is **deterministic and order-stable**: cells come out in
+dataset-major order, then variant (codec / ablation step) in config order,
+then control value (error bound or rate, in config order), then tiling
+(untiled first).  The same config always expands to the same tuple, and two
+configs that agree on their axes agree on their cells — the property
+:mod:`tests.evaluation.test_matrix_properties` pins.
+
+Each cell carries a ``cell_id`` that is unique within the matrix and stable
+across runs; it is the archive entry name, which is what makes
+``--skip-existing`` resume work (a finished cell's id is present in the
+archive, an unfinished one's is not).
+
+Examples
+--------
+>>> from repro.evaluation.config import parse_config
+>>> cfg = parse_config({
+...     "eval": {"kind": "cr-table"},
+...     "matrix": {"datasets": ["nyx"], "codecs": ["cusz-hi-cr", "cuzfp"],
+...                "ebs": [1e-2, 1e-3], "rates": {"cuzfp": [4.0]}},
+...     "datasets": {"nyx": {"shape": [8, 8, 8]}},
+... })
+>>> [c.cell_id for c in expand(cfg)]
+['nyx/cusz-hi-cr@eb0.01', 'nyx/cusz-hi-cr@eb0.001', 'nyx/cuzfp@r4']
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..api import registry
+from .config import DatasetRef, EvalConfig
+
+__all__ = ["EvalCell", "expand", "cell_label"]
+
+
+def _slug(text: str) -> str:
+    """Archive-name-safe variant label (``+partition/anchor`` ->
+    ``+partition-anchor``); keeps ``+`` because it is the ablation marker."""
+    return re.sub(r"[^A-Za-z0-9.+_-]+", "-", text).strip("-") or "cell"
+
+
+def _num(value: float) -> str:
+    return f"{value:g}"
+
+
+@dataclass(frozen=True)
+class EvalCell:
+    """One run-table row: a (dataset, variant, control, tiling) combination.
+
+    ``kind`` distinguishes how the cell executes: ``"eb"`` cells sweep an
+    error bound through a registered codec, ``"rate"`` cells sweep a
+    fixed-rate codec's bitrate, ``"ablation"`` cells run a pinned
+    :data:`~repro.analysis.ablation.ABLATION_STEPS` engine config.
+    """
+
+    dataset: DatasetRef
+    kind: str  # "eb" | "rate" | "ablation"
+    variant: str  # codec name, or ablation step label
+    eb: float | None = None
+    eb_mode: str = "rel"
+    rate: float | None = None
+    tiles: tuple[int, ...] | None = None
+
+    @property
+    def cell_id(self) -> str:
+        """Unique, stable archive name for this cell."""
+        parts = [f"{_slug(self.dataset.name)}/{_slug(self.variant)}"]
+        if self.kind == "rate":
+            parts.append(f"@r{_num(self.rate)}")
+        else:
+            parts.append(f"@eb{_num(self.eb)}")
+            if self.eb_mode != "rel":
+                parts.append(f"-{self.eb_mode}")
+        if self.tiles is not None:
+            parts.append("/t" + "x".join(str(d) for d in self.tiles))
+        return "".join(parts)
+
+    @property
+    def control(self) -> float:
+        """The swept scalar (bound or rate) — the report's x-axis value."""
+        return self.rate if self.kind == "rate" else self.eb
+
+
+def cell_label(cell: EvalCell) -> str:
+    """Human-readable one-liner for logs and progress output."""
+    what = f"rate={_num(cell.rate)}" if cell.kind == "rate" else f"eb={_num(cell.eb)}"
+    tail = f" tiles={list(cell.tiles)}" if cell.tiles is not None else ""
+    return f"{cell.dataset.name} x {cell.variant} ({what}{tail})"
+
+
+def expand(cfg: EvalConfig) -> tuple[EvalCell, ...]:
+    """Expand a config into its ordered cells (see the module docstring for
+    the ordering contract)."""
+    cells: list[EvalCell] = []
+    if cfg.kind == "ablation":
+        for ref in cfg.datasets:
+            for step in cfg.steps:
+                for eb in cfg.ebs:
+                    cells.append(
+                        EvalCell(
+                            dataset=ref,
+                            kind="ablation",
+                            variant=step,
+                            eb=eb,
+                            eb_mode=cfg.eb_mode,
+                        )
+                    )
+        return tuple(cells)
+
+    tilings: tuple[tuple[int, ...] | None, ...] = (None, *cfg.tilings)
+    for ref in cfg.datasets:
+        for codec in cfg.codecs:
+            if registry.capabilities(codec).error_bounded:
+                for eb in cfg.ebs:
+                    for tiles in tilings:
+                        cells.append(
+                            EvalCell(
+                                dataset=ref,
+                                kind="eb",
+                                variant=codec,
+                                eb=eb,
+                                eb_mode=cfg.eb_mode,
+                                tiles=tiles,
+                            )
+                        )
+            else:
+                for rate in cfg.rates_for(codec):
+                    cells.append(
+                        EvalCell(dataset=ref, kind="rate", variant=codec, rate=rate)
+                    )
+    return tuple(cells)

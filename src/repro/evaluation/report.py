@@ -1,0 +1,294 @@
+"""Eval reports: the ``repro.eval-report/1`` JSON artifact and its renderers.
+
+The report is the orchestrator's contract with everything downstream — CI
+artifact diffing, the ported benchmark assertions, the docs tables — so its
+shape is schema-versioned and pinned by a committed snapshot
+(``tests/evaluation/test_report_golden.py``).  Two layers:
+
+* the **full** document (:func:`build_report`) records everything about a
+  run, including volatile execution provenance (wall times, worker counts,
+  archive path, executed/resumed cell ids);
+* the **canonical** view (:func:`canonical_report`) strips exactly that
+  volatility, leaving only matrix + metrics — two runs of the same config
+  (fresh, resumed, interrupted-then-resumed) are canonically identical.
+
+Renderers: :func:`render_markdown` (doctested below) lays the cells out the
+way the paper does — CR tables per bound for ``cr-table``/``ablation``
+configs, per-dataset rate-distortion tables for ``rate-distortion`` — and
+:func:`render_html` wraps the same layout as a standalone page.
+
+Examples
+--------
+>>> cell = dict(cell="nyx/cusz-hi-cr@eb0.01", dataset="nyx",
+...             variant="cusz-hi-cr", kind="eb", status="ok", eb=0.01,
+...             rate=None, tiles=None, bitrate=1.02, psnr=64.2, cr=31.4)
+>>> doc = {"schema": EVAL_REPORT_SCHEMA, "title": "demo", "kind": "cr-table",
+...        "cells": [cell],
+...        "totals": {"cells": 1, "ok": 1, "failed": 0, "cr": 31.4}}
+>>> print(render_markdown(doc))
+# demo
+<BLANKLINE>
+`repro.eval-report/1` | kind: cr-table | 1/1 cells ok | overall CR 31.4
+<BLANKLINE>
+## CR at eb = 0.01
+<BLANKLINE>
+| dataset | cusz-hi-cr |
+|---|---:|
+| nyx | 31.4 |
+"""
+
+from __future__ import annotations
+
+import copy
+import html as _html
+import json
+
+from .runner import EvalRun
+
+__all__ = [
+    "EVAL_REPORT_SCHEMA",
+    "build_report",
+    "canonical_report",
+    "cell_table",
+    "load_report",
+    "rd_curves",
+    "render_html",
+    "render_markdown",
+    "write_report",
+]
+
+EVAL_REPORT_SCHEMA = "repro.eval-report/1"
+
+
+def build_report(run: EvalRun) -> dict:
+    """Serialize one :class:`~repro.evaluation.runner.EvalRun` as the
+    ``repro.eval-report/1`` document."""
+    ok = [c for c in run.cells if c.status == "ok"]
+    raw = sum(c.raw_nbytes for c in ok)
+    packed = sum(c.nbytes for c in ok)
+    return {
+        "schema": EVAL_REPORT_SCHEMA,
+        "name": run.config.name,
+        "title": run.config.title,
+        "kind": run.config.kind,
+        "matrix": run.config.matrix_dict(),
+        "cells": [c.to_json() for c in run.cells],
+        "totals": {
+            "cells": len(run.cells),
+            "ok": len(ok),
+            "failed": len(run.failed),
+            "raw_nbytes": raw,
+            "compressed_nbytes": packed,
+            "cr": raw / packed if packed else None,
+        },
+        "run": {
+            "executed": list(run.executed),
+            "resumed": list(run.resumed),
+            "failed": list(run.failed),
+            "executor": run.executor,
+            "workers": run.workers,
+            "archive": run.archive,
+            "wall_s": run.wall_s,
+            "scheduler": {
+                "policy": "lpt",
+                "modeled_makespan_elements": run.lpt_makespan_elements,
+            },
+        },
+    }
+
+
+def canonical_report(doc: dict) -> dict:
+    """The run-invariant view: drop the ``run`` section and per-cell wall
+    times.  Resumed, interrupted and fresh runs of one config agree here."""
+    out = copy.deepcopy(doc)
+    out.pop("run", None)
+    for cell in out.get("cells", ()):
+        cell.pop("wall_s", None)
+    return out
+
+
+def write_report(doc: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    schema = doc.get("schema")
+    if schema != EVAL_REPORT_SCHEMA:
+        raise ValueError(f"{path}: expected schema {EVAL_REPORT_SCHEMA!r}, got {schema!r}")
+    return doc
+
+
+# ------------------------------------------------------------------ lookups
+
+
+def cell_table(doc: dict, tiles: list[int] | None = None) -> dict:
+    """``(dataset, variant, control) -> cell`` for ok cells at one tiling
+    (untiled by default) — what the ported benchmark assertions index."""
+    out = {}
+    for cell in doc["cells"]:
+        if cell["status"] != "ok" or cell.get("tiles") != tiles:
+            continue
+        control = cell["rate"] if cell["kind"] == "rate" else cell["eb"]
+        out[(cell["dataset"], cell["variant"], control)] = cell
+    return out
+
+
+def rd_curves(doc: dict) -> dict:
+    """``dataset -> variant -> [(bitrate, psnr), ...]`` sorted by bitrate
+    (the Fig. 8 curves), from the untiled ok cells."""
+    curves: dict = {}
+    for cell in doc["cells"]:
+        if cell["status"] != "ok" or cell.get("tiles") is not None:
+            continue
+        curves.setdefault(cell["dataset"], {}).setdefault(cell["variant"], []).append(
+            (cell["bitrate"], cell["psnr"])
+        )
+    for by_variant in curves.values():
+        for points in by_variant.values():
+            points.sort()
+    return curves
+
+
+# ---------------------------------------------------------------- rendering
+
+
+def _fmt(value, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def _ordered(values) -> list:
+    seen: list = []
+    for v in values:
+        if v not in seen:
+            seen.append(v)
+    return seen
+
+
+def _col_label(cell: dict) -> str:
+    tiles = cell.get("tiles")
+    if tiles:
+        return cell["variant"] + " @" + "x".join(str(d) for d in tiles)
+    return cell["variant"]
+
+
+def _table(header: list[str], rows: list[list[str]]) -> list[str]:
+    lines = ["| " + " | ".join(header) + " |"]
+    lines.append("|---" + "|---:" * (len(header) - 1) + "|")
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    return lines
+
+
+def _eb_sections(cells: list[dict]) -> list[str]:
+    """Per-bound CR tables, datasets down, variants (and tilings) across."""
+    lines: list[str] = []
+    eb_cells = [c for c in cells if c["kind"] != "rate"]
+    for eb in _ordered(c["eb"] for c in eb_cells):
+        group = [c for c in eb_cells if c["eb"] == eb]
+        cols = _ordered(_col_label(c) for c in group)
+        value = {(c["dataset"], _col_label(c)): c for c in group if c["status"] == "ok"}
+        rows = []
+        for ds in _ordered(c["dataset"] for c in group):
+            cr = [value.get((ds, col)) for col in cols]
+            rows.append([ds] + [_fmt(c["cr"]) if c else "-" for c in cr])
+        lines += ["## CR at eb = " + _fmt(eb), ""]
+        lines += _table(["dataset"] + cols, rows) + [""]
+    rate_cells = [c for c in cells if c["kind"] == "rate" and c["status"] == "ok"]
+    if rate_cells:
+        rows = [
+            [c["dataset"], c["variant"], _fmt(c["rate"]), _fmt(c["bitrate"]), _fmt(c["cr"])]
+            for c in rate_cells
+        ]
+        lines += ["## Fixed-rate sweeps", ""]
+        lines += _table(["dataset", "codec", "rate", "bitrate", "CR"], rows) + [""]
+    return lines
+
+
+def _rd_sections(cells: list[dict]) -> list[str]:
+    """Per-dataset rate-distortion tables, rows sorted codec-then-bitrate."""
+    lines: list[str] = []
+    ok = [c for c in cells if c["status"] == "ok"]
+    for ds in _ordered(c["dataset"] for c in ok):
+        group = [c for c in ok if c["dataset"] == ds]
+        variants = _ordered(_col_label(c) for c in group)
+        group.sort(key=lambda c: (variants.index(_col_label(c)), c["bitrate"]))
+        rows = []
+        for c in group:
+            control = _fmt(c["rate"]) if c["kind"] == "rate" else _fmt(c["eb"])
+            rows.append(
+                [_col_label(c), control, _fmt(c["bitrate"]), _fmt(c["psnr"]), _fmt(c["cr"])]
+            )
+        lines += ["## " + ds, ""]
+        lines += _table(["codec", "eb/rate", "bitrate", "PSNR (dB)", "CR"], rows) + [""]
+    return lines
+
+
+def render_markdown(doc: dict) -> str:
+    """Render a report document as a markdown page (see module doctest)."""
+    totals = doc["totals"]
+    head = (
+        f"`{doc['schema']}` | kind: {doc['kind']} | "
+        f"{totals['ok']}/{totals['cells']} cells ok"
+    )
+    if totals.get("cr") is not None:
+        head += f" | overall CR {_fmt(totals['cr'])}"
+    lines = ["# " + doc["title"], "", head, ""]
+    if doc["kind"] == "rate-distortion":
+        lines += _rd_sections(doc["cells"])
+    else:
+        lines += _eb_sections(doc["cells"])
+    failed = [c for c in doc["cells"] if c["status"] == "failed"]
+    if failed:
+        rows = [[c["cell"], _fmt(c.get("error"))] for c in failed]
+        lines += ["## Failures", ""] + _table(["cell", "error"], rows) + [""]
+    return "\n".join(lines).rstrip("\n")
+
+
+def render_html(doc: dict) -> str:
+    """The markdown layout as a standalone HTML page (CI artifact)."""
+    body: list[str] = []
+    table: list[str] = []
+
+    def flush_table() -> None:
+        if not table:
+            return
+        head, rows = table[0], table[2:]  # row 1 is the alignment rule
+        body.append("<table>")
+        cells = [h.strip() for h in head.strip("|").split("|")]
+        body.append("<tr>" + "".join(f"<th>{_html.escape(c)}</th>" for c in cells) + "</tr>")
+        for row in rows:
+            cells = [c.strip() for c in row.strip("|").split("|")]
+            body.append("<tr>" + "".join(f"<td>{_html.escape(c)}</td>" for c in cells) + "</tr>")
+        body.append("</table>")
+        table.clear()
+
+    for line in render_markdown(doc).splitlines():
+        if line.startswith("|"):
+            table.append(line)
+            continue
+        flush_table()
+        if line.startswith("## "):
+            body.append(f"<h2>{_html.escape(line[3:])}</h2>")
+        elif line.startswith("# "):
+            body.append(f"<h1>{_html.escape(line[2:])}</h1>")
+        elif line:
+            body.append(f"<p>{_html.escape(line)}</p>")
+    flush_table()
+    title = _html.escape(doc["title"])
+    return (
+        "<!doctype html>\n<html><head><meta charset=\"utf-8\">"
+        f"<title>{title}</title>\n"
+        "<style>body{font-family:sans-serif;margin:2em}"
+        "table{border-collapse:collapse;margin:1em 0}"
+        "td,th{border:1px solid #999;padding:.3em .6em;text-align:right}"
+        "td:first-child,th:first-child{text-align:left}</style></head>\n<body>\n"
+        + "\n".join(body)
+        + "\n</body></html>\n"
+    )

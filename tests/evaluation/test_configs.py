@@ -1,0 +1,74 @@
+"""Drift guard for the committed experiment configs under ``configs/``.
+
+Each config IS a paper figure/table definition; its axes must track the
+shared grids in :mod:`repro.evaluation.grids` (the single source the
+benchmarks import too), so an axis edited in one place but not the other
+fails here instead of silently shrinking a sweep.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import EVAL_ORDER
+from repro.evaluation import expand, load_config
+from repro.evaluation.config import ablation_step_labels
+from repro.evaluation.grids import (
+    ABLATION_DATASETS,
+    ABLATION_EBS,
+    EVAL_EBS,
+    RD_COMPRESSORS,
+    RD_DATASETS,
+    RD_EBS,
+    TABLE4_DATASETS,
+    ZFP_RATES,
+)
+
+CONFIGS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "configs",
+)
+
+
+def _load(name):
+    return load_config(os.path.join(CONFIGS, f"{name}.toml"))
+
+
+@pytest.mark.parametrize("name", ["smoke", "fig8", "table4", "table5"])
+def test_config_parses_and_expands(name):
+    cfg = _load(name)
+    cells = expand(cfg)
+    assert cells and len({c.cell_id for c in cells}) == len(cells)
+
+
+def test_smoke_is_small_and_serial():
+    cfg = _load("smoke")
+    assert cfg.executor == "serial"
+    assert len(expand(cfg)) <= 12  # the CI smoke budget
+
+
+def test_fig8_axes_match_grids():
+    cfg = _load("fig8")
+    assert cfg.kind == "rate-distortion"
+    assert tuple(d.name for d in cfg.datasets) == RD_DATASETS
+    assert cfg.codecs == RD_COMPRESSORS + ("cuzfp",)
+    assert cfg.ebs == RD_EBS
+    assert cfg.rates_for("cuzfp") == ZFP_RATES
+
+
+def test_table4_axes_match_grids():
+    cfg = _load("table4")
+    assert cfg.kind == "cr-table"
+    assert tuple(d.name for d in cfg.datasets) == TABLE4_DATASETS
+    assert cfg.codecs == tuple(EVAL_ORDER)
+    assert cfg.ebs == EVAL_EBS
+
+
+def test_table5_axes_match_grids():
+    cfg = _load("table5")
+    assert cfg.kind == "ablation"
+    assert tuple(d.name for d in cfg.datasets) == ABLATION_DATASETS
+    assert cfg.ebs == ABLATION_EBS
+    assert cfg.steps == ablation_step_labels()

@@ -1,0 +1,181 @@
+"""Property-based matrix-expansion tests (seeded random, no hypothesis dep).
+
+For randomly drawn configs: every (dataset, variant, control, tiling) cell
+appears exactly once, expansion is deterministic and order-stable, and
+randomly injected invalid cells are rejected at parse time with the
+offending TOML key in the error message.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import registry
+from repro.evaluation import ConfigError, expand, parse_config
+from repro.evaluation.config import ablation_step_labels
+
+#: small pools the generator draws from (2-D and 3-D datasets kept apart so
+#: a drawn tiling can match every drawn dataset's rank)
+DATASETS_3D = ("jhtdb", "miranda", "nyx", "rtm")
+EB_CODECS = ("cusz-hi-cr", "cusz-hi-tp", "cusz-hi", "cusz-l", "cusz-i", "cusz-ib",
+             "cuszp2", "fzgpu")
+TILING_CODECS = tuple(c for c in EB_CODECS if registry.capabilities(c).tiling)
+EB_POOL = (1e-1, 1e-2, 3e-3, 1e-3, 1e-4)
+RATE_POOL = (2.0, 4.0, 8.0, 12.0)
+
+N_DRAWS = 25
+
+
+def _draw_config(rng: random.Random) -> dict:
+    """A random *valid* cr-table/rate-distortion config document."""
+    datasets = rng.sample(DATASETS_3D, rng.randint(1, 3))
+    with_tiling = rng.random() < 0.4
+    pool = TILING_CODECS if with_tiling else EB_CODECS
+    codecs = rng.sample(pool, rng.randint(1, min(4, len(pool))))
+    doc = {
+        "eval": {"kind": rng.choice(("cr-table", "rate-distortion"))},
+        "matrix": {
+            "datasets": datasets,
+            "codecs": list(codecs),
+            "ebs": sorted(rng.sample(EB_POOL, rng.randint(1, 3)), reverse=True),
+        },
+        "datasets": {ds: {"shape": [8, 8, 8]} for ds in datasets},
+    }
+    if with_tiling:
+        doc["matrix"]["tilings"] = [[4, 4, 4]] if rng.random() < 0.5 else [[4, 4, 4], [8, 8, 8]]
+    if not with_tiling and rng.random() < 0.5:
+        doc["matrix"]["codecs"].append("cuzfp")
+        doc["matrix"]["rates"] = {"cuzfp": sorted(rng.sample(RATE_POOL, rng.randint(1, 3)))}
+    return doc
+
+
+def _expected_cells(doc: dict) -> set:
+    """The cell key set the axes imply, built independently of expand()."""
+    m = doc["matrix"]
+    tilings = [None] + [tuple(t) for t in m.get("tilings", [])]
+    out = set()
+    for ds in m["datasets"]:
+        for codec in m["codecs"]:
+            if registry.capabilities(codec).error_bounded:
+                for eb in m["ebs"]:
+                    for tiles in tilings:
+                        out.add((ds, codec, eb, tiles))
+            else:
+                for rate in m.get("rates", {}).get(codec, []):
+                    out.add((ds, codec, float(rate), None))
+    return out
+
+
+def _keys(cells) -> list:
+    return [
+        (c.dataset.name, c.variant, c.rate if c.kind == "rate" else c.eb, c.tiles)
+        for c in cells
+    ]
+
+
+class TestExpansionProperties:
+    @pytest.mark.parametrize("seed", range(N_DRAWS))
+    def test_every_cell_exactly_once(self, seed):
+        doc = _draw_config(random.Random(seed))
+        cells = expand(parse_config(doc))
+        keys = _keys(cells)
+        assert len(keys) == len(set(keys)), "duplicate cells"
+        assert set(keys) == _expected_cells(doc)
+
+    @pytest.mark.parametrize("seed", range(N_DRAWS))
+    def test_cell_ids_unique_and_stable(self, seed):
+        doc = _draw_config(random.Random(seed))
+        ids = [c.cell_id for c in expand(parse_config(doc))]
+        assert len(ids) == len(set(ids))
+        assert ids == [c.cell_id for c in expand(parse_config(doc))]
+
+    @pytest.mark.parametrize("seed", range(N_DRAWS))
+    def test_expansion_deterministic(self, seed):
+        doc = _draw_config(random.Random(seed))
+        assert expand(parse_config(doc)) == expand(parse_config(doc))
+
+    @pytest.mark.parametrize("seed", range(N_DRAWS))
+    def test_order_stable_dataset_major(self, seed):
+        """Cells come out dataset-major, variants in config order, controls
+        in config order, untiled before tiled."""
+        doc = _draw_config(random.Random(seed))
+        cfg = parse_config(doc)
+        cells = expand(cfg)
+        ds_order = [d.name for d in cfg.datasets]
+        seen_ds = [c.dataset.name for c in cells]
+        assert seen_ds == sorted(seen_ds, key=ds_order.index)
+        for ds in ds_order:
+            variants = [c.variant for c in cells if c.dataset.name == ds]
+            order = list(cfg.codecs)
+            assert variants == sorted(variants, key=order.index)
+
+    def test_ablation_expansion_order(self):
+        cfg = parse_config({
+            "eval": {"kind": "ablation"},
+            "matrix": {"datasets": ["nyx", "rtm"], "ebs": [1e-2, 1e-3]},
+            "datasets": {ds: {"shape": [8, 8, 8]} for ds in ("nyx", "rtm")},
+        })
+        keys = _keys(expand(cfg))
+        labels = ablation_step_labels()
+        assert keys == [
+            (ds, step, eb, None)
+            for ds in ("nyx", "rtm")
+            for step in labels
+            for eb in (1e-2, 1e-3)
+        ]
+
+
+class TestInvalidCellsRejectedAtParseTime:
+    @pytest.mark.parametrize("seed", range(N_DRAWS))
+    def test_unknown_dataset_injection_names_key(self, seed):
+        rng = random.Random(1000 + seed)
+        doc = _draw_config(rng)
+        names = doc["matrix"]["datasets"]
+        i = rng.randrange(len(names) + 1)
+        names.insert(i, "not-a-dataset")
+        with pytest.raises(ConfigError, match=rf"matrix\.datasets\[{i}\] = 'not-a-dataset'"):
+            parse_config(doc)
+
+    @pytest.mark.parametrize("seed", range(N_DRAWS))
+    def test_unknown_codec_injection_names_key(self, seed):
+        rng = random.Random(2000 + seed)
+        doc = _draw_config(rng)
+        codecs = doc["matrix"]["codecs"]
+        i = rng.randrange(len(codecs) + 1)
+        codecs.insert(i, "gzip")
+        with pytest.raises(ConfigError, match=rf"matrix\.codecs\[{i}\] = 'gzip'"):
+            parse_config(doc)
+
+    @pytest.mark.parametrize("seed", range(N_DRAWS))
+    def test_tiling_capability_mismatch_names_both_keys(self, seed):
+        rng = random.Random(3000 + seed)
+        doc = _draw_config(rng)
+        non_tiling = [c for c in EB_CODECS if not registry.capabilities(c).tiling]
+        bad = rng.choice(non_tiling)
+        codecs = [c for c in doc["matrix"]["codecs"] if registry.capabilities(c).tiling]
+        if not codecs:
+            codecs = [rng.choice(TILING_CODECS)]
+        i = rng.randrange(len(codecs) + 1)
+        codecs.insert(i, bad)
+        doc["matrix"]["codecs"] = codecs
+        doc["matrix"].setdefault("tilings", [[4, 4, 4]])
+        doc["matrix"].pop("rates", None)
+        with pytest.raises(
+            ConfigError,
+            match=rf"matrix\.tilings\[0\] x matrix\.codecs\[{i}\] = '{bad}'",
+        ):
+            parse_config(doc)
+
+    @pytest.mark.parametrize("seed", range(N_DRAWS))
+    def test_fixed_rate_codec_without_rates_names_key(self, seed):
+        rng = random.Random(4000 + seed)
+        doc = _draw_config(rng)
+        doc["matrix"].pop("rates", None)
+        doc["matrix"].pop("tilings", None)
+        codecs = [c for c in doc["matrix"]["codecs"] if c != "cuzfp"] + ["cuzfp"]
+        doc["matrix"]["codecs"] = codecs
+        i = codecs.index("cuzfp")
+        with pytest.raises(ConfigError, match=rf"matrix\.codecs\[{i}\] = 'cuzfp'"):
+            parse_config(doc)

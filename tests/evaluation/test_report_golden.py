@@ -1,0 +1,211 @@
+"""Golden tests for the ``repro.eval-report/1`` artifact.
+
+The report document's shape is pinned by a committed snapshot of its key
+paths and JSON types (``tests/evaluation/data/report_schema.json``), built
+from a tiny deterministic run that exercises every cell flavor (eb cell,
+tiled cell, fixed-rate cell).  A deliberate schema change regenerates it::
+
+    PYTHONPATH=src python tests/evaluation/test_report_golden.py --write
+
+and the diff lands in review; an accidental field rename/removal fails
+here first.  Also doctests the markdown renderer and asserts byte-for-byte
+numeric parity between the orchestrator's cells and the legacy
+``run_case``/``run_fixed_rate_case`` harness on the pinned smoke config.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+
+import pytest
+
+from repro.datasets.registry import load
+from repro.evaluation import (
+    EVAL_REPORT_SCHEMA,
+    build_report,
+    canonical_report,
+    cell_table,
+    load_config,
+    load_report,
+    parse_config,
+    render_html,
+    render_markdown,
+    run_eval,
+    write_report,
+)
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+SNAPSHOT_PATH = os.path.join(HERE, "data", "report_schema.json")
+
+#: the pinned generator config: one eb cell, one tiled cell, one rate cell
+#: (all three CellResult flavors appear in ``cells``)
+PINNED_DOC = {
+    "eval": {"kind": "cr-table", "title": "golden"},
+    "matrix": {
+        "datasets": ["nyx"],
+        "codecs": ["cusz-hi-cr", "cuzfp"],
+        "ebs": [1e-2],
+        "tilings": [[4, 4, 4]],
+        "rates": {"cuzfp": [4.0]},
+    },
+    "datasets": {"nyx": {"shape": [8, 8, 8]}},
+}
+
+
+def shape_sig(value):
+    """Key paths -> JSON type names, recursively (values are volatile —
+    wall times, paths — but the *shape* is the contract)."""
+    if isinstance(value, dict):
+        return {k: shape_sig(v) for k, v in sorted(value.items())}
+    if isinstance(value, list):
+        return [shape_sig(v) for v in value]
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    return type(value).__name__
+
+
+def pinned_report(workdir: str) -> dict:
+    cfg = parse_config(PINNED_DOC, name="golden")
+    run = run_eval(cfg, os.path.join(workdir, "golden.rpza"))
+    assert run.ok, run.failed
+    return build_report(run)
+
+
+class TestGoldenSnapshot:
+    def test_schema_string_is_pinned(self):
+        assert EVAL_REPORT_SCHEMA == "repro.eval-report/1"
+
+    def test_report_shape_matches_committed_snapshot(self, tmp_path):
+        with open(SNAPSHOT_PATH, encoding="utf-8") as fh:
+            committed = json.load(fh)
+        current = shape_sig(pinned_report(str(tmp_path)))
+        assert current == committed, (
+            "repro.eval-report/1 shape drifted from "
+            "tests/evaluation/data/report_schema.json.\n"
+            "If the change is intentional, bump/regenerate the snapshot with:\n"
+            "    PYTHONPATH=src python tests/evaluation/test_report_golden.py --write\n"
+            "and commit the diff (schema changes need a version bump)."
+        )
+
+    def test_report_roundtrips_through_disk(self, tmp_path):
+        doc = pinned_report(str(tmp_path))
+        path = str(tmp_path / "report.json")
+        write_report(doc, path)
+        assert load_report(path) == doc
+
+    def test_load_report_rejects_other_schemas(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"schema": "repro.eval-report/999"}, fh)
+        with pytest.raises(ValueError, match="expected schema"):
+            load_report(path)
+
+    def test_canonical_view_drops_only_volatility(self, tmp_path):
+        doc = pinned_report(str(tmp_path))
+        canon = canonical_report(doc)
+        assert "run" not in canon and "run" in doc
+        assert all("wall_s" not in c for c in canon["cells"])
+        rest = {k: v for k, v in doc.items() if k != "run"}
+        for c in rest["cells"]:
+            c.pop("wall_s", None)
+        assert canon == rest
+
+
+class TestRenderers:
+    def test_markdown_renderer_doctests(self):
+        import doctest
+
+        from repro.evaluation import report as report_mod
+
+        result = doctest.testmod(report_mod)
+        assert result.attempted > 0 and result.failed == 0
+
+    def test_markdown_covers_every_cell_flavor(self, tmp_path):
+        md = render_markdown(pinned_report(str(tmp_path)))
+        assert md.startswith("# golden")
+        assert "`repro.eval-report/1` | kind: cr-table | 3/3 cells ok" in md
+        assert "## CR at eb = 0.01" in md
+        assert "cusz-hi-cr @4x4x4" in md  # tiled column
+        assert "## Fixed-rate sweeps" in md  # cuzfp rate cell
+        assert "## Failures" not in md
+
+    def test_html_wraps_the_same_layout(self, tmp_path):
+        page = render_html(pinned_report(str(tmp_path)))
+        assert page.startswith("<!doctype html>")
+        assert "<title>golden</title>" in page
+        assert "<h2>CR at eb = 0.01</h2>" in page
+        assert page.count("<table>") == page.count("</table>") >= 2
+
+
+class TestSmokeParity:
+    """The acceptance criterion: orchestrator numbers == legacy harness
+    numbers, byte-for-byte, on the pinned smoke dataset."""
+
+    @pytest.fixture(scope="class")
+    def smoke(self, tmp_path_factory):
+        cfg = load_config(os.path.join(REPO, "configs", "smoke.toml"))
+        run = run_eval(cfg, str(tmp_path_factory.mktemp("smoke") / "smoke.rpza"))
+        assert run.ok, run.failed
+        return cfg, build_report(run)
+
+    def test_eb_cells_match_run_case_exactly(self, smoke):
+        from repro.analysis.harness import run_case
+
+        cfg, doc = smoke
+        cells = cell_table(doc)
+        checked = 0
+        for ref in cfg.datasets:
+            data = load(ref.name, shape=ref.shape, seed=ref.seed)
+            for codec in cfg.codecs:
+                if codec == "cuzfp":
+                    continue
+                for eb in cfg.ebs:
+                    legacy = run_case(codec, data, eb)
+                    mine = cells[(ref.name, codec, eb)]
+                    assert mine["cr"] == legacy.cr
+                    assert mine["psnr"] == legacy.psnr
+                    assert mine["bitrate"] == legacy.bitrate
+                    assert mine["max_err"] == legacy.max_err
+                    assert mine["nbytes"] == legacy.blob_nbytes
+                    checked += 1
+        assert checked == 8
+
+    def test_rate_cells_match_run_fixed_rate_case_exactly(self, smoke):
+        from repro.analysis.harness import run_fixed_rate_case
+
+        cfg, doc = smoke
+        cells = cell_table(doc)
+        checked = 0
+        for ref in cfg.datasets:
+            data = load(ref.name, shape=ref.shape, seed=ref.seed)
+            for rate in cfg.rates_for("cuzfp"):
+                legacy = run_fixed_rate_case(data, rate)
+                mine = cells[(ref.name, "cuzfp", rate)]
+                assert mine["cr"] == legacy.cr
+                assert mine["psnr"] == legacy.psnr
+                assert mine["bitrate"] == legacy.bitrate
+                checked += 1
+        assert checked == 2
+
+
+if __name__ == "__main__":
+    with tempfile.TemporaryDirectory() as workdir:
+        sig = shape_sig(pinned_report(workdir))
+    if "--write" in sys.argv:
+        os.makedirs(os.path.dirname(SNAPSHOT_PATH), exist_ok=True)
+        with open(SNAPSHOT_PATH, "w", encoding="utf-8") as fh:
+            json.dump(sig, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {SNAPSHOT_PATH}")
+    else:
+        print(json.dumps(sig, indent=1, sort_keys=True))

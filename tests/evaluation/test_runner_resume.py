@@ -1,0 +1,192 @@
+"""Resume semantics: failing cells, crashes, and skip-existing reruns.
+
+Two interruption modes are simulated — a cell that raises (disk/codec
+failure) and a SIGTERM delivered to a ``repro eval`` subprocess mid-matrix.
+In both cases a rerun with resume enabled must re-execute only the missing
+cells, and the final report must be canonically identical to a run that was
+never interrupted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.evaluation import (
+    build_report,
+    canonical_report,
+    load_config,
+    parse_config,
+    run_eval,
+)
+from repro.evaluation import runner as runner_mod
+from repro.service.archive import ArchiveStore
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _cfg(name="resume-demo"):
+    return parse_config(
+        {
+            "eval": {"kind": "cr-table"},
+            "matrix": {
+                "datasets": ["nyx", "rtm"],
+                "codecs": ["cusz-l", "cuszp2"],
+                "ebs": [1e-2, 1e-3],
+            },
+            "datasets": {
+                "nyx": {"shape": [8, 8, 8]},
+                "rtm": {"shape": [8, 8, 8]},
+            },
+        },
+        name=name,
+    )
+
+
+class TestFailingCell:
+    def test_failed_cells_rerun_and_report_matches_uninterrupted(
+        self, tmp_path, monkeypatch
+    ):
+        cfg = _cfg()
+        arc = str(tmp_path / "eval.rpza")
+        orig = runner_mod._load_dataset
+
+        def flaky(name, shape, seed):
+            if name == "rtm":
+                raise RuntimeError("simulated I/O failure")
+            return orig(name, shape, seed)
+
+        monkeypatch.setattr(runner_mod, "_load_dataset", flaky)
+        run1 = run_eval(cfg, arc)
+        assert not run1.ok
+        failed = set(run1.failed)
+        assert failed == {r.cell for r in run1.cells if r.dataset == "rtm"}
+        assert len(failed) == 4 and len(run1.executed) == 8
+
+        # Failed cells must NOT be archived — only finished work is durable.
+        with ArchiveStore(arc, mode="r") as store:
+            assert failed.isdisjoint(store.names())
+            assert len(store) == 4
+
+        # Rerun with resume: only the previously-failed cells execute.
+        monkeypatch.setattr(runner_mod, "_load_dataset", orig)
+        run2 = run_eval(cfg, arc)
+        assert run2.ok
+        assert set(run2.executed) == failed
+        assert set(run2.resumed) == {r.cell for r in run1.cells if r.status == "ok"}
+
+        # The recovered report is canonically identical to a fresh one.
+        fresh = run_eval(cfg, str(tmp_path / "fresh.rpza"))
+        assert canonical_report(build_report(run2)) == canonical_report(
+            build_report(fresh)
+        )
+
+    def test_failure_rows_carry_the_error(self, tmp_path, monkeypatch):
+        cfg = _cfg()
+        orig = runner_mod._load_dataset
+        monkeypatch.setattr(
+            runner_mod,
+            "_load_dataset",
+            lambda name, shape, seed: (_ for _ in ()).throw(RuntimeError("boom"))
+            if name == "rtm"
+            else orig(name, shape, seed),
+        )
+        run = run_eval(cfg, str(tmp_path / "eval.rpza"))
+        bad = [r for r in run.cells if r.status == "failed"]
+        assert bad and all("RuntimeError: boom" in r.error for r in bad)
+        assert all(r.cr is None for r in bad)
+
+    def test_no_resume_re_executes_everything(self, tmp_path):
+        cfg = _cfg()
+        arc = str(tmp_path / "eval.rpza")
+        run1 = run_eval(cfg, arc)
+        assert len(run1.executed) == 8 and not run1.resumed
+
+        run2 = run_eval(cfg, arc, resume=False)
+        assert len(run2.executed) == 8 and not run2.resumed
+
+        run3 = run_eval(cfg, arc)  # resume again: everything is a dict read
+        assert not run3.executed and len(run3.resumed) == 8
+        assert canonical_report(build_report(run3)) == canonical_report(
+            build_report(run1)
+        )
+
+
+class TestSigtermCrash:
+    def test_sigterm_mid_matrix_resumes_without_recompute(self, tmp_path):
+        doc = {
+            "eval": {"kind": "cr-table"},
+            "matrix": {
+                "datasets": ["nyx"],
+                "codecs": ["cusz-hi-cr", "cusz-l"],
+                "ebs": [1e-1, 3e-2, 1e-2, 3e-3, 1e-3, 1e-4],
+            },
+            "datasets": {"nyx": {"shape": [40, 40, 40]}},
+        }
+        cfg_path = tmp_path / "crash.json"
+        cfg_path.write_text(json.dumps(doc))
+        arc = str(tmp_path / "crash.rpza")
+        report_path = str(tmp_path / "crash.report.json")
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO, "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "eval",
+                str(cfg_path),
+                "--archive",
+                arc,
+                "-o",
+                report_path,
+            ],
+            cwd=REPO,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        # Poll the archive's committed (footer-flip) index until some cells
+        # have landed, then kill the orchestrator mid-matrix.
+        deadline = time.monotonic() + 60.0
+        archived = 0
+        while time.monotonic() < deadline and proc.poll() is None:
+            try:
+                with ArchiveStore(arc, mode="r") as store:
+                    archived = len(store)
+            except Exception:
+                archived = 0
+            if archived >= 2:
+                proc.send_signal(signal.SIGTERM)
+                break
+            time.sleep(0.02)
+        out, err = proc.communicate(timeout=60)
+        if proc.returncode == 0:
+            pytest.skip(f"run finished before the interrupt landed: {out!r}")
+        assert proc.returncode != 0
+
+        cfg = load_config(str(cfg_path))
+        total = 12
+        with ArchiveStore(arc, mode="r") as store:
+            done = set(store.names())
+        assert 0 < len(done) < total, (len(done), err.decode()[-500:])
+
+        # Resume: completed cells are rebuilt from the index, the rest run.
+        run2 = run_eval(cfg, arc)
+        assert run2.ok
+        assert set(run2.resumed) == done
+        assert len(run2.executed) == total - len(done)
+        assert set(run2.executed).isdisjoint(done)
+
+        # The resumed report equals one from a never-interrupted run.
+        fresh = run_eval(cfg, str(tmp_path / "fresh.rpza"))
+        assert canonical_report(build_report(run2)) == canonical_report(
+            build_report(fresh)
+        )

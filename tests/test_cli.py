@@ -270,7 +270,7 @@ class TestHelpText:
 
         commands = dict(_iter_subparsers(build_parser()))
         assert {"compress", "decompress", "info", "bench", "batch", "archive",
-                "serve", "archive ls", "archive get", "archive verify"} <= set(commands)
+                "serve", "eval", "archive ls", "archive get", "archive verify"} <= set(commands)
         for path, sub in commands.items():
             assert sub.description and sub.description.strip(), f"{path}: empty description"
             assert sub.epilog and "docs/" in sub.epilog, f"{path}: epilog must point at docs/"
@@ -407,6 +407,89 @@ class TestServeCommand:
             rc = main(["serve", str(tmp_path), "--port", str(taken)])
         assert rc == 2
         assert "cannot serve" in capsys.readouterr().err
+
+
+class TestEvalCommand:
+    """``repro eval`` — the TOML experiment-matrix orchestrator entry."""
+
+    def _config(self, tmp_path):
+        path = tmp_path / "mini.json"
+        path.write_text(json.dumps({
+            "eval": {"kind": "cr-table", "title": "mini sweep"},
+            "matrix": {"datasets": ["nyx"], "codecs": ["cusz-l"], "ebs": [1e-2, 1e-3]},
+            "datasets": {"nyx": {"shape": [8, 8, 8]}},
+        }))
+        return path
+
+    def test_eval_registered_with_flags(self):
+        from repro.cli import build_parser
+
+        sub = dict(_iter_subparsers(build_parser()))["eval"]
+        flags = {s for a in sub._actions for s in a.option_strings}
+        assert {
+            "--output",
+            "--markdown",
+            "--html",
+            "--archive",
+            "--no-resume",
+            "--executor",
+            "--workers",
+        } <= flags
+
+    def test_missing_config_is_clean_error(self, tmp_path, capsys):
+        rc = main(["eval", str(tmp_path / "none.toml")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "cannot read config" in err and "Traceback" not in err
+
+    def test_invalid_config_names_the_key(self, tmp_path, capsys):
+        path = tmp_path / "bad.toml"
+        path.write_text(
+            "[eval]\nkind = 'cr-table'\n"
+            "[matrix]\ndatasets = ['mars']\ncodecs = ['cusz-l']\nebs = [1e-3]\n"
+        )
+        rc = main(["eval", str(path)])
+        assert rc == 2
+        assert "matrix.datasets[0] = 'mars'" in capsys.readouterr().err
+
+    def test_run_writes_report_and_markdown(self, tmp_path, capsys):
+        from repro.evaluation import EVAL_REPORT_SCHEMA, load_report
+
+        cfg = self._config(tmp_path)
+        report = tmp_path / "mini.report.json"
+        md = tmp_path / "mini.md"
+        rc = main([
+            "eval", str(cfg),
+            "-o", str(report),
+            "--markdown", str(md),
+            "--archive", str(tmp_path / "mini.rpza"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 executed, 0 resumed, 0 failed" in out
+        doc = load_report(str(report))
+        assert doc["schema"] == EVAL_REPORT_SCHEMA
+        assert doc["totals"] == {
+            "cells": 2, "ok": 2, "failed": 0,
+            "raw_nbytes": doc["totals"]["raw_nbytes"],
+            "compressed_nbytes": doc["totals"]["compressed_nbytes"],
+            "cr": doc["totals"]["cr"],
+        }
+        assert md.read_text().startswith("# mini sweep")
+
+    def test_rerun_resumes_from_archive(self, tmp_path, capsys):
+        cfg = self._config(tmp_path)
+        argv = [
+            "eval", str(cfg),
+            "-o", str(tmp_path / "r.json"),
+            "--archive", str(tmp_path / "mini.rpza"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 2 resumed, 0 failed" in out
+        assert "(from archive)" in out
 
 
 class TestTiledFlags:

@@ -30,6 +30,13 @@ pre-built container), ``read`` (GET a seeded archive field) and ``stats``
 compress response, so two artifacts (say ``--workers-procs 1`` vs ``4``)
 prove the pooled path byte-identical by comparing digests.
 
+Requests go through :class:`repro.client.AsyncReproClient`: 429/503
+responses are retried with capped, ``Retry-After``-honoring backoff, and
+each cell records ``retries`` (extra attempts that eventually got an
+answer) and ``gave_up`` (requests still retryable after the whole budget)
+instead of dying on the first overload response.  Latencies are measured
+to the *final* answer, backoff pauses included.
+
 Usage (spawn a fresh server, then drain it with SIGTERM)::
 
     python benchmarks/loadgen.py benchmarks/loadgen_smoke.toml \
@@ -211,44 +218,38 @@ class _Workload:
 # --------------------------------------------------------------- HTTP client
 
 
-async def http_request(
-    host: str, port: int, method: str, target: str, body: bytes, timeout_s: float
-) -> tuple[int, bytes]:
-    """One raw HTTP/1.1 exchange (one request per connection, like the server)."""
+def _make_client(host: str, port: int, timeout_s: float, seed: str):
+    """One retrying client (``repro.client``) for a run cell.
 
-    async def _go() -> tuple[int, bytes]:
-        reader, writer = await asyncio.open_connection(host, port)
-        try:
-            head = (
-                f"{method} {target} HTTP/1.1\r\nHost: loadgen\r\n"
-                f"Content-Length: {len(body)}\r\n\r\n"
-            )
-            writer.write(head.encode("latin-1") + body)
-            await writer.drain()
-            raw = await reader.read()
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, BrokenPipeError):
-                pass
-        status = int(raw.split(b" ", 2)[1])
-        return status, raw.partition(b"\r\n\r\n")[2]
+    429/503 responses are retried with capped, seeded-jitter backoff
+    (honoring ``Retry-After``), so a saturated server shows up as
+    ``retries``/``gave_up`` counts in the record rather than a dead cell.
+    """
+    _ensure_repro_importable()
+    from repro.client import AsyncReproClient, RetryPolicy
 
-    return await asyncio.wait_for(_go(), timeout=timeout_s)
+    policy = RetryPolicy(max_attempts=4, base_s=0.05, cap_s=2.0, attempt_timeout_s=timeout_s)
+    return AsyncReproClient(host, port, policy=policy, seed=seed)
 
 
 async def run_cell(
     spec: RunSpec, host: str, port: int, workload: _Workload, timeout_s: float
 ) -> dict:
     """Execute one run cell and return its JSON-ready record."""
+    from repro.client import RetriesExhausted
+
     rnd = random.Random(spec.seed)
     kinds = [k for k, _ in spec.mix]
     weights = [w for _, w in spec.mix]
     schedule = rnd.choices(kinds, weights=weights, k=spec.requests)
+    http = _make_client(host, port, timeout_s, spec.seed)
     for kind in rnd.choices(kinds, weights=weights, k=spec.warmup):
         method, target, body = workload.request_for(kind)
-        await http_request(host, port, method, target, body, timeout_s)
+        try:
+            await http.request(method, target, body, deadline_s=timeout_s)
+        except RetriesExhausted:
+            pass  # warmups prime caches; their failures are not measured
+    http.stats = {"requests": 0, "retries": 0, "gave_up": 0}  # measure post-warmup only
 
     queue: asyncio.Queue = asyncio.Queue()
     for kind in schedule:
@@ -267,19 +268,19 @@ async def run_cell(
             method, target, body = workload.request_for(kind)
             t0 = time.perf_counter()
             try:
-                status, _ = await http_request(host, port, method, target, body, timeout_s)
-            except (asyncio.TimeoutError, ConnectionError):
-                timeouts += 1
+                resp = await http.request(method, target, body, deadline_s=timeout_s)
+            except RetriesExhausted:
+                timeouts += 1  # no response within the attempt/deadline budget
                 continue
             latencies_ms.append((time.perf_counter() - t0) * 1000.0)
-            by_status[str(status)] = by_status.get(str(status), 0) + 1
+            by_status[str(resp.status)] = by_status.get(str(resp.status), 0) + 1
 
     t0 = time.perf_counter()
     await asyncio.gather(*[client() for _ in range(spec.concurrency)])
     wall_s = time.perf_counter() - t0
 
     ok = sum(n for s, n in by_status.items() if s.startswith("2"))
-    failed = sum(by_status.values()) - ok  # completed with a non-2xx status
+    failed = sum(by_status.values()) - ok  # still non-2xx after all retries
     arr = np.asarray(latencies_ms) if latencies_ms else np.asarray([0.0])
     return {
         "mix": spec.mix_name,
@@ -290,6 +291,8 @@ async def run_cell(
         "ok": ok,
         "failed": failed,
         "timeouts": timeouts,
+        "retries": http.stats["retries"],
+        "gave_up": http.stats["gave_up"],
         "statuses": dict(sorted(by_status.items())),
         "wall_s": round(wall_s, 4),
         "throughput_rps": round(ok / wall_s, 2) if wall_s > 0 else 0.0,
@@ -401,16 +404,17 @@ async def drive(args: argparse.Namespace, meta: dict, runs: list[RunSpec]) -> di
         "spawned": bool(args.spawn),
     }
     try:
+        probe_client = _make_client(host, port, args.timeout_s, "canonical-probe")
         for side in payload_sides:
             # Canonical digest: one deterministic compress per payload size;
             # identical across server configs iff blobs are byte-identical.
             probe = _Workload(side, eb, None, None)
-            status, blob = await http_request(
-                host, port, "POST", probe.compress_target, probe.field_bytes, args.timeout_s
+            resp = await probe_client.request(
+                "POST", probe.compress_target, probe.field_bytes, deadline_s=args.timeout_s
             )
-            if status != 200:
-                raise SystemExit(f"canonical compress for payload {side} failed: {status}")
-            canonical[str(side)] = hashlib.sha256(blob).hexdigest()
+            if resp.status != 200:
+                raise SystemExit(f"canonical compress for payload {side} failed: {resp.status}")
+            canonical[str(side)] = hashlib.sha256(resp.body).hexdigest()
         for spec in runs:
             field = args.field if args.field else f"f{spec.payload}"
             workload = _Workload(spec.payload, spec.eb, archive, field)
@@ -423,8 +427,8 @@ async def drive(args: argparse.Namespace, meta: dict, runs: list[RunSpec]) -> di
                 + ("  [FAILURES]" if record["failed"] or record["timeouts"] else ""),
                 flush=True,
             )
-        status, stats_body = await http_request(host, port, "GET", "/stats", b"", args.timeout_s)
-        stats = json.loads(stats_body) if status == 200 else None
+        resp = await probe_client.request("GET", "/stats", deadline_s=args.timeout_s)
+        stats = resp.json() if resp.status == 200 else None
     finally:
         if server is not None:
             code = server.stop()

@@ -1,10 +1,12 @@
 #!/usr/bin/env python
-"""Drive the async compression service end to end with a stdlib client.
+"""Drive the async compression service end to end with the retrying client.
 
 Boots a :class:`repro.server.ReproServer` on a free localhost port in a
 background thread (point ``REPRO_SERVE_URL`` at an already-running ``repro
-serve`` to skip that), then exercises every endpoint with plain
-``http.client``:
+serve`` to skip that), then exercises every endpoint with
+:class:`repro.client.ReproClient` — the production client: capped
+exponential backoff with jitter on 429/503 (honoring ``Retry-After``),
+per-request deadlines, and ``retries``/``gave_up`` counters:
 
 1. ``GET  /healthz``                      — liveness;
 2. ``POST /compress`` / ``POST /decompress`` — round-trip a field over HTTP;
@@ -18,7 +20,6 @@ Run:  python examples/serve_client.py
 """
 
 import asyncio
-import http.client
 import json
 import os
 import tempfile
@@ -26,6 +27,8 @@ import threading
 import time
 
 import numpy as np
+
+from repro.client import ReproClient, RetryPolicy
 
 SHAPE = (32, 32, 32)
 
@@ -51,16 +54,6 @@ def start_background_server() -> tuple[str, int]:
     return server.host, server.port
 
 
-def call(host, port, method, target, body=b""):
-    conn = http.client.HTTPConnection(host, port)
-    conn.request(method, target, body=body)
-    resp = conn.getresponse()
-    payload = resp.read()
-    headers = {k.lower(): v for k, v in resp.getheaders()}
-    conn.close()
-    return resp.status, headers, payload
-
-
 url = os.environ.get("REPRO_SERVE_URL")
 if url:
     host, port = url.split("//")[-1].split(":")
@@ -68,6 +61,16 @@ if url:
 else:
     host, port = start_background_server()
 print(f"server: http://{host}:{port}")
+
+# One client for the whole session: 429/503 retried with capped backoff
+# (Retry-After honored), 10 s deadline per logical request.
+client = ReproClient(host, port, policy=RetryPolicy(max_attempts=5, deadline_s=10.0), seed=42)
+
+
+def call(host, port, method, target, body=b""):
+    resp = client.request(method, target, body)
+    return resp.status, resp.headers, resp.body
+
 
 # 1. Liveness.
 status, _, body = call(host, port, "GET", "/healthz")
@@ -118,8 +121,10 @@ for attempt in (1, 2):
         f"origin={headers['x-repro-tile-origin']}  source={headers['x-repro-source']}"
     )
 
-# 5. The observable counters.
+# 5. The observable counters — server side and client side.
 stats = json.loads(call(host, port, "GET", "/stats")[2])
-print(f"stats.cache:   {stats['cache']}")
-print(f"stats.batcher: {stats['batcher']}")
-print(f"stats.jobs:    {stats['jobs']}")
+print(f"stats.cache:     {stats['cache']}")
+print(f"stats.batcher:   {stats['batcher']}")
+print(f"stats.jobs:      {stats['jobs']}")
+print(f"stats.integrity: {stats['integrity']}")
+print(f"client:          {client.stats}")

@@ -27,9 +27,11 @@ path (and keep the pre-1.4 keyword surface alive as deprecation shims); the
 subpackages expose the full system: ``repro.core`` (cuSZ-Hi engine +
 container), ``repro.predictor``, ``repro.encoders``, ``repro.baselines``,
 ``repro.gpu``, ``repro.datasets``, ``repro.metrics``, ``repro.analysis``,
-``repro.service`` (batch archives) and ``repro.server`` (HTTP service).
-Heavy subpackages (``analysis``, ``baselines``, ``server``, ``service``)
-import lazily on first attribute access, so ``import repro`` stays light.
+``repro.service`` (batch archives), ``repro.server`` (HTTP service),
+``repro.client`` (retrying HTTP client) and ``repro.faults``
+(seed-deterministic fault injection for the chaos suite).  Heavy modules
+(``analysis``, ``baselines``, ``client``, ``server``, ``service``) import
+lazily on first attribute access, so ``import repro`` stays light.
 """
 
 from __future__ import annotations
@@ -47,16 +49,20 @@ from .core.registry import codec_class, codec_name, list_codecs
 
 #: single version source: the CLI (``repro --version``), the HTTP service
 #: (``GET /healthz``) and packaging all report this string.
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: heavy subpackages imported lazily via module ``__getattr__`` — keeping
-#: ``import repro`` free of asyncio/http (server) and the baseline zoo.
-_LAZY_SUBPACKAGES = ("analysis", "baselines", "server", "service")
+#: ``import repro`` free of asyncio/http (server, client) and the baseline
+#: zoo.  ``client`` and ``faults`` are modules, not packages, but lazy-load
+#: the same way.
+_LAZY_SUBPACKAGES = ("analysis", "baselines", "client", "faults", "server", "service")
 
 __all__ = [
     "compress",
     "decompress",
     "api",
+    "client",
+    "faults",
     "CuszHi",
     "CuszHiConfig",
     "CR_MODE",

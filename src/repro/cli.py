@@ -12,6 +12,7 @@ Usage::
     repro archive   ls corpus.rpza
     repro archive   get corpus.rpza temperature -o temp.f32
     repro archive   verify corpus.rpza --deep
+    repro archive   repair corpus.rpza
     repro serve     ./archives --port 8077 --cache-bytes 268435456
     repro serve     ./archives --workers-procs 4 --queue-depth 64 --deadline-ms 5000
 
@@ -377,6 +378,32 @@ def _cmd_archive_verify(args) -> int:
     return 0
 
 
+def _cmd_archive_repair(args) -> int:
+    import json
+
+    from .service import ArchiveError
+    from .service.archive import ArchiveStore
+
+    try:
+        report = ArchiveStore.repair(args.archive)
+    except (ArchiveError, OSError) as exc:
+        return _fail(str(exc))  # unrepairable: exit 2, like other input errors
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        print(
+            f"{args.archive}: scanned {report['scanned']} entries — "
+            f"{len(report['ok'])} ok, {len(report['restored'])} restored from "
+            f"replicas, {len(report['quarantined'])} quarantined"
+            + (" (index rebuilt)" if report["index_recovered"] else "")
+        )
+        for problem in report["problems"]:
+            print(f"  {problem}", file=sys.stderr)
+        if report["quarantined"]:
+            print(f"  quarantined payloads under {report['quarantine_dir']}", file=sys.stderr)
+    return 1 if report["quarantined"] else 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
     import logging
@@ -699,6 +726,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--deep", action="store_true", help="also fully decompress every checked entry"
     )
     pver.set_defaults(func=_cmd_archive_verify)
+
+    prep = _add_command(
+        asub,
+        "repair",
+        "self-heal a corrupt archive: rebuild the index, restore from "
+        "replicas, quarantine what cannot be saved",
+        "docs/OPERATIONS.md (corruption runbook) and docs/API.md "
+        "(ArchiveStore.repair)",
+    )
+    prep.add_argument("archive")
+    prep.add_argument(
+        "--json", action="store_true", help="print the full repro.archive-repair/1 report"
+    )
+    prep.set_defaults(func=_cmd_archive_repair)
 
     ps = _add_command(
         sub,

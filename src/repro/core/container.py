@@ -43,6 +43,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..faults import mangle as _fault_mangle
+
 __all__ = [
     "CompressedBlob",
     "ContainerError",
@@ -54,7 +56,11 @@ __all__ = [
 ]
 
 _MAGIC = b"RPZH"
-_VERSION = 3
+# v4 appends a whole-stream CRC trailer: per-segment CRCs only protect
+# payload bytes, so before v4 a flipped bit in the header, dims, meta table
+# or a segment *descriptor* could silently change eb/shape/decode params.
+_VERSION = 4
+_TRAILER_FMT = "<I"
 _DTYPES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
 _DTYPES_INV = {0: np.dtype(np.float32), 1: np.dtype(np.float64)}
 
@@ -119,7 +125,7 @@ class CompressedBlob:
             n += 2 + len(k.encode()) + 4 + len(v.encode())
         for name, payload in self.segments.items():
             n += 2 + len(name.encode()) + struct.calcsize("<QI") + len(payload)
-        return n
+        return n + struct.calcsize(_TRAILER_FMT)  # whole-stream CRC trailer
 
     @property
     def compression_ratio(self) -> float:
@@ -191,7 +197,13 @@ class CompressedBlob:
             parts.append(nb)
             parts.append(struct.pack("<QI", len(payload), zlib.crc32(payload) & 0xFFFFFFFF))
             parts.append(payload)
-        return b"".join(parts)
+        # Whole-stream CRC trailer: covers every byte before it, including
+        # the header/meta/descriptor bytes the per-segment CRCs do not.
+        wire = b"".join(parts)
+        wire += struct.pack(_TRAILER_FMT, zlib.crc32(wire) & 0xFFFFFFFF)
+        # Chaos hook ("container.serialize"): bit rot injected on the wire
+        # bytes; a pass-through no-op unless a repro.faults plan is armed.
+        return _fault_mangle("container.serialize", wire)
 
     @classmethod
     def from_bytes(cls, buf) -> "CompressedBlob":
@@ -210,8 +222,13 @@ class CompressedBlob:
         def take(off: int, n: int, what: str) -> tuple[bytes, int]:
             # Every read is bounds-checked so a truncated file surfaces as a
             # ContainerError, never a struct.error or a silently-short slice.
+            # Messages carry the absolute byte offset of the failed read so a
+            # corrupt file is diagnosable without a hex dump session.
             if n < 0 or off + n > len(view):
-                raise ContainerError(f"truncated container: {what} extends past end of data")
+                raise ContainerError(
+                    f"truncated container: {what} at byte {off} extends past end "
+                    f"of data (need {n} bytes, have {max(0, len(view) - off)})"
+                )
             return bytes(view[off : off + n]), off + n
 
         def unpack(fmt: str, off: int, what: str):
@@ -250,13 +267,24 @@ class CompressedBlob:
             # Zero-copy: bounds-checked view slice, no bytes() materialization.
             if plen < 0 or off + plen > len(view):
                 raise ContainerError(
-                    f"truncated container: segment {name!r} payload extends past end of data"
+                    f"truncated container: segment {name!r} payload at byte {off} "
+                    f"extends past end of data (need {plen} bytes, have {len(view) - off})"
                 )
             payload = view[off : off + plen]
             off += plen
             if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
-                raise ContainerError(f"CRC mismatch in segment {name!r}")
+                raise ContainerError(
+                    f"CRC mismatch in segment {name!r} at byte {off - plen} ({plen} bytes)"
+                )
             segments[name] = payload
+        # Whole-stream CRC: per-segment CRCs protect payloads, this one
+        # protects everything else (header, dims, meta, descriptors).
+        (stream_crc,), end = unpack(_TRAILER_FMT, off, "stream CRC trailer")
+        if (zlib.crc32(view[:off]) & 0xFFFFFFFF) != stream_crc:
+            raise ContainerError(
+                f"whole-stream CRC mismatch over bytes 0..{off} — header or "
+                "metadata bytes rotted (segment payloads verified separately)"
+            )
         return cls(
             codec=codec,
             shape=tuple(dims),
@@ -368,5 +396,8 @@ def unpack_tile(blob: CompressedBlob, i: int):
     length = int(idx[i, 2 * ndim + 1])
     body = blob.segments["tiles"]
     if offset < 0 or length < 0 or offset + length > len(body):
-        raise ContainerError(f"tile {i} extends past the tiles segment")
+        raise ContainerError(
+            f"tile {i} at byte {offset} (+{length}) extends past the tiles "
+            f"segment ({len(body)} bytes)"
+        )
     return origin, tshape, body[offset : offset + length]

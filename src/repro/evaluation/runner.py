@@ -30,6 +30,7 @@ import numpy as np
 from ..api import build_request, kernel_for
 from ..core.tiling import map_tiles, resolve_workers
 from ..datasets.registry import get_info, load
+from ..faults import fire as _fault_fire
 from ..gpu.costmodel import lpt_order
 from ..metrics import max_abs_error, psnr
 from ..service.archive import ArchiveStore
@@ -148,6 +149,9 @@ def _run_cell_job(job) -> tuple[CellResult, bytes | None]:
         tiles=list(cell.tiles) if cell.tiles is not None else None,
     )
     try:
+        # Chaos hook ("eval.cell"): kill/error a worker at cell K — the
+        # sweep's per-cell isolation and resume must absorb it.
+        _fault_fire("eval.cell", cell=cell.cell_id)
         data = _load_dataset(cell.dataset.name, cell.dataset.shape, cell.dataset.seed)
         comp = _cell_compressor(cell, inner)
         blob = comp.compress(data, cell.eb)

@@ -59,7 +59,12 @@ Production guardrails (all observable on ``GET /stats``, schema
   live), lets in-flight requests finish, flushes final stats to the log,
   then stops the listener and the worker pool;
 * **latency histograms** — every request lands in a per-route log-bucket
-  histogram with p50/p99 estimates.
+  histogram with p50/p99 estimates;
+* **integrity** — detected archive corruption, worker death and injected
+  faults map to typed, retryable ``503`` responses (never a bare ``500``),
+  are counted in the ``integrity`` stats block, and corruption flips the
+  ``degraded`` flag on ``/healthz`` until the instance is repaired and
+  restarted (see the corruption runbook in ``docs/OPERATIONS.md``).
 
 The HTTP layer itself is deliberately small: HTTP/1.1, ``Content-Length``
 bodies only, one request per connection, JSON errors with 4xx for anything
@@ -95,7 +100,13 @@ from ..core.tiling import resolve_workers
 from ..encoders import ans as _ans_tables
 from ..encoders import huffman as _huffman_tables
 from ..predictor.interpolation import level_plan_stats
-from ..service import ArchiveError, ArchiveNotFound, ArchiveStore, ManifestError
+from ..service import (
+    ArchiveCorruption,
+    ArchiveError,
+    ArchiveNotFound,
+    ArchiveStore,
+    ManifestError,
+)
 from ..service.archive import blob_cache_stats
 from .batching import MicroBatcher
 from .cache import ByteBudgetLRU
@@ -315,8 +326,23 @@ class ReproServer:
         self._rejected_429 = 0
         self._expired_503 = 0
         self._draining_503 = 0
+        # Storage-integrity counters (the ``integrity`` block of /stats):
+        # detected archive corruption, worker deaths, injected faults — all
+        # served as typed, retryable 503s rather than bare 500s.
+        self._integrity = {"corruption": 0, "worker_death": 0, "fault": 0}
 
     # -------------------------------------------------------------- lifecycle
+    @property
+    def degraded(self) -> bool:
+        """Whether this server has served corrupt storage since it started.
+
+        Sticky until restart (or until an operator runs ``repro archive
+        repair`` and recycles the instance): a corrupt archive does not heal
+        by itself, so orchestrators should route around the replica and page
+        someone instead of retrying forever.
+        """
+        return self._integrity["corruption"] > 0
+
     @property
     def port(self) -> int:
         if self._server is None or not self._server.sockets:
@@ -517,6 +543,7 @@ class ReproServer:
             return self._json_response(
                 {
                     "status": "draining" if self._draining else "ok",
+                    "degraded": self.degraded,
                     "archive_root": self.archive_root,
                     "version": __version__,
                     "request_schema": REQUEST_SCHEMA,
@@ -579,6 +606,13 @@ class ReproServer:
         wall = self._heavy_ewma_s or 0.5
         return max(1, min(60, int(self._inflight_heavy * wall + 0.999)))
 
+    def _corruption_503(self, exc: ArchiveCorruption) -> HttpError:
+        """Detected storage corruption: a typed, retryable 503 (a replica or
+        ``repro archive repair`` may heal it), counted and flipping
+        ``/healthz`` to degraded — never a bare 500."""
+        self._integrity["corruption"] += 1
+        return HttpError(503, str(exc), headers={"Retry-After": "1"})
+
     async def _run_heavy(self, work) -> tuple[int, dict, bytes]:
         """Single-process guardrails around one heavy handler body.
 
@@ -639,7 +673,15 @@ class ReproServer:
             self._expired_503 += 1
             raise HttpError(503, f"deadline of {self.deadline_ms:g} ms exceeded") from None
         except PoolTaskError as exc:
-            raise HttpError(exc.status, exc.message) from None
+            headers = {}
+            if exc.kind in ("corruption", "worker-death", "fault"):
+                self._integrity[exc.kind.replace("-", "_")] += 1
+                if exc.status == 503:
+                    # Transient (worker death, injected fault) or maybe
+                    # healed by a replica/repair (corruption): worth a
+                    # client-side retry after a beat.
+                    headers["Retry-After"] = "1"
+            raise HttpError(exc.status, exc.message, headers or None) from None
         finally:
             self._inflight_heavy -= 1
 
@@ -777,6 +819,8 @@ class ReproServer:
 
         try:
             entries = await asyncio.to_thread(_list)
+        except ArchiveCorruption as exc:
+            raise self._corruption_503(exc) from None
         except ArchiveError as exc:
             raise HttpError(400, str(exc)) from None
         return self._json_response({"archive": name, "entries": entries})
@@ -819,6 +863,8 @@ class ReproServer:
                 origin, data = await asyncio.to_thread(_read)
             except ArchiveNotFound as exc:
                 raise HttpError(404, str(exc)) from None
+            except ArchiveCorruption as exc:
+                raise self._corruption_503(exc) from None
             except ArchiveError as exc:
                 raise HttpError(400, str(exc)) from None
             self.cache.put(key, (origin, data), nbytes=data.nbytes)
@@ -863,9 +909,10 @@ class ReproServer:
         per-tile archive reads.
 
         ``schema`` pins the document shape (``repro.stats/1``); ``admission``
-        tracks the 429/503 guardrails, ``latency`` holds the per-route
-        histograms, and ``pool`` is the worker-pool counter block (``None``
-        in single-process mode).
+        tracks the 429/503 guardrails, ``integrity`` the corruption/worker-
+        death/fault 503s (plus the sticky ``degraded`` flag), ``latency``
+        holds the per-route histograms, and ``pool`` is the worker-pool
+        counter block (``None`` in single-process mode).
         """
         return {
             "schema": STATS_SCHEMA,
@@ -882,6 +929,7 @@ class ReproServer:
                 "expired_503": self._expired_503,
                 "draining_503": self._draining_503,
             },
+            "integrity": {**self._integrity, "degraded": self.degraded},
             "latency": self.latency.snapshot(),
             "pool": self.pool.stats() if self.pool is not None else None,
             "cache": self.cache.stats(),

@@ -32,8 +32,13 @@ puts ``N`` **worker processes** behind the frontend:
   an abandoned task is counted (``expired`` if the worker skipped it,
   ``late_results`` if it computed an answer nobody wanted) but never
   delivered;
-* a worker that dies mid-task fails only its own in-flight tasks (500) and
-  is respawned by the dispatcher — the pool survives worker crashes.
+* a worker that dies mid-task fails only its own in-flight tasks — each gets
+  a retryable 503 (compress/read tasks are idempotent; :mod:`repro.client`
+  retries them) — and is respawned by the dispatcher, so the pool survives
+  worker crashes without ever surfacing a 500;
+* detected storage corruption (:class:`~repro.service.ArchiveCorruption`)
+  travels back with an error *kind* so the frontend can count it in the
+  ``integrity`` stats block and flag ``/healthz`` degraded.
 
 Workers are spawned (never forked) so they hold no inherited locks from the
 frontend's threads, and they ignore SIGINT/SIGTERM: shutdown is owned by
@@ -86,12 +91,20 @@ class DeadlineExceeded(Exception):
 
 
 class PoolTaskError(Exception):
-    """A task failed in a worker; carries the HTTP status it maps to."""
+    """A task failed in a worker; carries the HTTP status it maps to.
 
-    def __init__(self, status: int, message: str):
+    ``kind`` classifies the failure for the frontend's bookkeeping:
+    ``"error"`` (plain task failure), ``"corruption"`` (the worker hit
+    :class:`~repro.service.ArchiveCorruption` — counted in the ``integrity``
+    stats block), ``"worker-death"`` (the worker died mid-task; retryable),
+    or ``"fault"`` (an injected :class:`~repro.faults.FaultInjected`).
+    """
+
+    def __init__(self, status: int, message: str, kind: str = "error"):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.kind = kind
 
 
 class HashRing:
@@ -140,16 +153,23 @@ class HashRing:
 # --------------------------------------------------------------------- worker
 
 
-def _task_status_for(exc: Exception) -> int:
-    """Map a task exception to the HTTP status the frontend would have used
-    for the same failure on the in-process path."""
-    from ..service import ArchiveError, ArchiveNotFound
+def _task_failure_for(exc: Exception) -> tuple[int, str]:
+    """Map a task exception to ``(http_status, kind)`` — the same split the
+    frontend uses on the in-process path.  Detected storage corruption is a
+    retryable, *typed* 503 (the entry may heal via ``repro archive repair``
+    or another replica), never a bare 500."""
+    from ..faults import FaultInjected
+    from ..service import ArchiveCorruption, ArchiveError, ArchiveNotFound
 
     if isinstance(exc, ArchiveNotFound):
-        return 404
+        return 404, "error"
+    if isinstance(exc, ArchiveCorruption):
+        return 503, "corruption"
+    if isinstance(exc, FaultInjected):
+        return 503, "fault"
     if isinstance(exc, (ArchiveError, ValueError, TypeError, KeyError)):
-        return 400
-    return 500
+        return 400, "error"
+    return 500, "error"
 
 
 def _run_task(kind: str, payload: dict, cache) -> dict:
@@ -215,7 +235,16 @@ def _worker_main(worker_id: int, task_q, result_q, cache_bytes: int) -> None:
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
     from ..core.cache import ByteBudgetLRU
 
+    # Importing repro.faults arms any REPRO_FAULTS plan the spawning frontend
+    # exported, with this process's own hit counters.
+    from ..faults import fire as _fault_fire
+
     cache = ByteBudgetLRU(cache_bytes)
+    # Ready handshake: the heavy module imports above take seconds; tell the
+    # frontend before blocking on the queue so start() can wait for a pool
+    # that actually dequeues promptly (deadlined tasks submitted while a
+    # worker is still importing would all expire at the dequeue pre-check).
+    result_q.put((0, "ready", worker_id))
     while True:
         item = task_q.get()
         if item is None:
@@ -225,9 +254,14 @@ def _worker_main(worker_id: int, task_q, result_q, cache_bytes: int) -> None:
             result_q.put((task_id, "expired", None))
             continue
         try:
+            # Chaos hook ("pool.worker-task"): SIGKILL at task K, injected
+            # error, or stall — after the dequeue pre-check, so the fault
+            # lands on *started* work.
+            _fault_fire("pool.worker-task", worker=worker_id, kind=kind)
             result_q.put((task_id, "ok", _run_task(kind, payload, cache)))
         except Exception as exc:  # noqa: BLE001 — per-task isolation boundary
-            result_q.put((task_id, "error", (_task_status_for(exc), f"{exc}")))
+            status, failure_kind = _task_failure_for(exc)
+            result_q.put((task_id, "error", (status, f"{exc}", failure_kind)))
 
 
 # ----------------------------------------------------------------- dispatcher
@@ -305,13 +339,40 @@ class WorkerPool:
 
     # -------------------------------------------------------------- lifecycle
     def start(self) -> None:
-        """Spawn the workers and the dispatcher thread (blocking)."""
+        """Spawn the workers, wait for their ready handshake, start dispatch.
+
+        Blocking (the server calls it via ``asyncio.to_thread``).  Waiting
+        for the handshake means a freshly started pool dequeues within
+        milliseconds — without it, every deadlined task submitted during the
+        workers' multi-second import phase would expire before starting.
+        """
         for wid in range(self.workers):
             self._spawn_worker(wid)
+        self._await_ready()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-pool-dispatch", daemon=True
         )
         self._dispatcher.start()
+
+    def _await_ready(self, timeout_s: float = 60.0) -> None:
+        """Consume one ``ready`` message per worker (respawning boot deaths).
+
+        Gives up at ``timeout_s`` instead of raising — a pool that boots
+        slowly is degraded (early deadlined tasks expire in queue), not
+        broken.
+        """
+        deadline = time.monotonic() + timeout_s
+        ready = 0
+        while ready < self.workers and time.monotonic() < deadline:
+            try:
+                item = self._result_queue.get(timeout=0.5)
+            except queue_mod.Empty:
+                for wid, proc in enumerate(self._procs):
+                    if proc is not None and not proc.is_alive():
+                        self._spawn_worker(wid)
+                continue
+            if item is not None and item[1] == "ready":
+                ready += 1
 
     def _spawn_worker(self, wid: int) -> None:
         shard_bytes = self.cache_bytes // self.workers
@@ -446,6 +507,8 @@ class WorkerPool:
                 return
 
     def _handle_result(self, task_id: int, status: str, value) -> None:
+        if status == "ready":  # a respawned worker's handshake; not a task
+            return
         with self._lock:
             entry = self._pending.pop(task_id, None)
             if entry is None:
@@ -480,9 +543,9 @@ class WorkerPool:
                 _resolve, entry.future, DeadlineExceeded("deadline expired in queue"), None
             )
         else:
-            http_status, message = value
+            http_status, message, failure_kind = value
             entry.loop.call_soon_threadsafe(
-                _resolve, entry.future, PoolTaskError(http_status, message), None
+                _resolve, entry.future, PoolTaskError(http_status, message, failure_kind), None
             )
 
     def _reap_dead_workers(self) -> None:
@@ -498,11 +561,18 @@ class WorkerPool:
                     del self._pending[tid]
                 self._errors += len(stranded)
                 self._worker_restarts += 1
+            # Stranded tasks are idempotent (compress/decompress/read), so the
+            # death maps to a retryable 503, not a 500 — a retrying client
+            # lands on the respawned (or a surviving) worker.
             for _, entry in stranded:
                 entry.loop.call_soon_threadsafe(
                     _resolve,
                     entry.future,
-                    PoolTaskError(500, f"worker {wid} died (exit {proc.exitcode}); respawned"),
+                    PoolTaskError(
+                        503,
+                        f"worker {wid} died (exit {proc.exitcode}); respawned — retry the request",
+                        "worker-death",
+                    ),
                     None,
                 )
             self._spawn_worker(wid)

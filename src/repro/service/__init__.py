@@ -10,11 +10,12 @@ decompression.  ``repro batch`` / ``repro archive {ls,get,verify}`` expose
 the same machinery on the command line.
 """
 
-from .archive import ArchiveEntry, ArchiveError, ArchiveNotFound, ArchiveStore
+from .archive import ArchiveCorruption, ArchiveEntry, ArchiveError, ArchiveNotFound, ArchiveStore
 from .manifest import FieldSpec, JobSpec, ManifestError, load_manifest, parse_manifest
 from .runner import REPORT_SCHEMA, BatchReport, BatchRunner, FieldResult
 
 __all__ = [
+    "ArchiveCorruption",
     "ArchiveEntry",
     "ArchiveError",
     "ArchiveNotFound",

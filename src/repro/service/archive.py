@@ -8,22 +8,33 @@ share the same API and index schema:
 ``file``
     A single ``.rpza`` file::
 
-        magic  b"RPZARCH1"
-        index pointer slot (fixed offset 8):
-            index_offset u64, index_len u64, index_crc32 u32, b"RPZAIDX1"
+        magic  b"RPZARCH2"
+        footer slot 0 (fixed offset 8, 40 bytes):
+            seq u64, index_offset u64, index_len u64, index_crc32 u32,
+            slot_crc32 u32 (over the preceding 28 bytes), b"RPZAIDX2"
+        footer slot 1 (fixed offset 48, same layout)
         frames and index JSON blocks, appended in completion order
 
     Every add appends the new frame *after* the current index JSON, writes a
-    fresh index after the frame, and only then flips the fixed-position
-    pointer slot — the previous index stays intact on disk until the new one
-    is durable, so a crash at any point leaves a readable archive that has
-    lost at most the in-flight field (superseded index blocks become dead
-    bytes; reclaim them by rewriting the archive).  Retrieval seeks straight
+    fresh index after the frame, and only then writes the **stale** footer
+    slot with the next sequence number — the two fixed slots alternate, so
+    the slot describing the last committed index is never touched during a
+    commit.  Opening picks the highest-sequence slot whose own CRC checks
+    out: a crash (or torn write) at any byte of the in-flight slot damages
+    only that slot, and the archive reopens with exactly the previously
+    committed entries.  A slot whose CRC is valid but whose *index* fails
+    its check means committed data rotted on disk — that is a
+    :class:`ArchiveCorruption`, repairable via :meth:`ArchiveStore.repair`
+    (``repro archive repair``), which salvages the newest intact index
+    block, restores damaged entries from their replicas (``copies=N`` write
+    option) and quarantines what cannot be saved.  Retrieval seeks straight
     to the frame — no scan, O(entry) reads.
 
 ``dir``
     A directory with ``index.json`` plus one ``.rpz`` file per entry
     (atomically replaced index), interoperable with the single-field CLI.
+    Replicas are sibling ``<file>.rpz.copyK`` files; quarantined entries
+    move into a ``quarantine/`` subdirectory.
 
 Partial decompression: entries written as multi-tile frames (``tiles = [...]``
 in the manifest) decode one tile at a time through the existing per-tile
@@ -49,8 +60,11 @@ from ..core.container import CompressedBlob, ContainerError, is_tiled
 from ..core.registry import codec_class, codec_name
 from ..core.streaming import StreamReader
 from ..core.tiling import TiledEngine
+from ..faults import mangle as _fault_mangle
+from ..faults import write as _fault_write
 
 __all__ = [
+    "ArchiveCorruption",
     "ArchiveEntry",
     "ArchiveError",
     "ArchiveNotFound",
@@ -85,13 +99,22 @@ def clear_blob_cache() -> None:
     """Drop every cached parsed frame (test isolation)."""
     _blob_cache.clear()
 
-_MAGIC = b"RPZARCH1"
-_PTR_MAGIC = b"RPZAIDX1"
-_PTR_FMT = "<QQI"
-_PTR_OFF = len(_MAGIC)
-_PTR_LEN = struct.calcsize(_PTR_FMT) + len(_PTR_MAGIC)
-_DATA_START = _PTR_OFF + _PTR_LEN
+
+_MAGIC = b"RPZARCH2"
+_OLD_MAGIC = b"RPZARCH1"
+_SLOT_MAGIC = b"RPZAIDX2"
+# seq u64, index_offset u64, index_len u64, index_crc32 u32 — covered by the
+# trailing slot_crc32, so a *torn* slot write (mixed old/new bytes) is
+# distinguishable from a committed slot whose index later rotted.
+_SLOT_FMT = "<QQQI"
+_SLOT_LEN = struct.calcsize(_SLOT_FMT) + 4 + len(_SLOT_MAGIC)
+_SLOT_OFFS = (len(_MAGIC), len(_MAGIC) + _SLOT_LEN)
+_DATA_START = len(_MAGIC) + 2 * _SLOT_LEN
 _INDEX_VERSION = 1
+#: every index JSON block starts with this byte sequence (json.dumps with
+#: indent=1 + sort_keys puts "entries" first) — the repair scan's needle.
+_INDEX_MARKER = b'{\n "entries"'
+REPAIR_SCHEMA = "repro.archive-repair/1"
 
 
 class ArchiveError(ValueError):
@@ -106,9 +129,38 @@ class ArchiveNotFound(ArchiveError):
     instead of parsing message text."""
 
 
+class ArchiveCorruption(ArchiveError):
+    """Stored bytes are damaged: CRC mismatch, truncated payload, rotted
+    index.  Distinct from misuse (plain :class:`ArchiveError`) and from
+    missing entries (:class:`ArchiveNotFound`) so the server can map it to a
+    retryable 503 + degraded health instead of a client-error 400, and so
+    operators know ``repro archive repair`` is the next step."""
+
+
+def _pack_slot(seq: int, offset: int, length: int, idx_crc: int) -> bytes:
+    body = struct.pack(_SLOT_FMT, seq, offset, length, idx_crc)
+    return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF) + _SLOT_MAGIC
+
+
+def _parse_slot(raw: bytes):
+    """Decode one footer slot; ``None`` when torn/blank (bad magic or CRC)."""
+    if len(raw) != _SLOT_LEN or raw[-len(_SLOT_MAGIC) :] != _SLOT_MAGIC:
+        return None
+    body = raw[: struct.calcsize(_SLOT_FMT)]
+    (slot_crc,) = struct.unpack("<I", raw[len(body) : len(body) + 4])
+    if (zlib.crc32(body) & 0xFFFFFFFF) != slot_crc:
+        return None
+    return struct.unpack(_SLOT_FMT, body)  # (seq, offset, length, idx_crc)
+
+
 @dataclass
 class ArchiveEntry:
-    """Index row: where one field lives and how to decode/size it."""
+    """Index row: where one field lives and how to decode/size it.
+
+    ``replicas`` lists extra full copies of the payload (``copies=N`` write
+    option): byte offsets in the file backend, sibling filenames in the dir
+    backend.  Repair promotes a valid replica when the primary rots.
+    """
 
     name: str
     kind: str  # "field" | "stream"
@@ -121,6 +173,7 @@ class ArchiveEntry:
     offset: int | None = None  # file backend
     filename: str | None = None  # dir backend
     meta: dict = field(default_factory=dict)
+    replicas: list = field(default_factory=list)
 
     @property
     def raw_nbytes(self) -> int:
@@ -149,6 +202,8 @@ class ArchiveEntry:
             doc["offset"] = self.offset
         if self.filename is not None:
             doc["filename"] = self.filename
+        if self.replicas:
+            doc["replicas"] = list(self.replicas)
         return doc
 
     @classmethod
@@ -166,17 +221,27 @@ class ArchiveEntry:
                 offset=doc.get("offset"),
                 filename=doc.get("filename"),
                 meta=dict(doc.get("meta", {})),
+                replicas=list(doc.get("replicas", [])),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ArchiveError(f"corrupt archive index entry: {exc!r}") from None
 
 
-def _safe_filename(name: str, taken: set[str]) -> str:
+def _safe_filename(name: str, taken: set[str], suffix: str = ".rpz") -> str:
     base = re.sub(r"[^A-Za-z0-9._-]+", "_", name).strip("._") or "entry"
-    candidate, n = f"{base}.rpz", 1
+    candidate, n = f"{base}{suffix}", 1
     while candidate in taken:
-        candidate, n = f"{base}~{n}.rpz", n + 1
+        candidate, n = f"{base}~{n}{suffix}", n + 1
     return candidate
+
+
+def _encode_index_doc(entries: dict[str, ArchiveEntry]) -> bytes:
+    doc = {
+        "format": "repro.archive-index",
+        "version": _INDEX_VERSION,
+        "entries": [e.to_json() for e in entries.values()],
+    }
+    return json.dumps(doc, indent=1, sort_keys=True).encode("utf-8")
 
 
 class ArchiveStore:
@@ -216,9 +281,11 @@ class ArchiveStore:
         self._entries: dict[str, ArchiveEntry] = {}
         self._fh: io.BufferedRandom | None = None
         # File backend: where the live index JSON currently sits; the next
-        # frame is appended directly after it (see _append_frame).
+        # frame is appended directly after it (see _add).  ``_seq`` is the
+        # sequence number of the committed footer slot.
         self._index_off = _DATA_START
         self._index_len = 0
+        self._seq = 0
         if backend == "file":
             self._open_file()
         else:
@@ -254,7 +321,7 @@ class ArchiveStore:
         else:  # "w", or "a" on a missing file
             self._fh = open(self.path, "w+b")
             self._fh.write(_MAGIC)
-            self._fh.write(b"\0" * _PTR_LEN)  # placeholder slot, flipped below
+            self._fh.write(b"\0" * (2 * _SLOT_LEN))  # blank slots, written below
             self._write_file_index(_DATA_START)
 
     def _load_file_index(self) -> None:
@@ -262,48 +329,74 @@ class ArchiveStore:
         assert fh is not None
         fh.seek(0, os.SEEK_END)
         total = fh.tell()
-        if total < _DATA_START:
-            raise ArchiveError(f"{self.path}: too short to be an archive")
         fh.seek(0)
-        if fh.read(len(_MAGIC)) != _MAGIC:
-            raise ArchiveError(f"{self.path}: bad magic — not a repro archive")
-        slot = fh.read(_PTR_LEN)
-        if slot[-len(_PTR_MAGIC) :] != _PTR_MAGIC:
+        head = fh.read(len(_MAGIC))
+        if head == _OLD_MAGIC:
             raise ArchiveError(
-                f"{self.path}: missing index footer pointer (truncated or interrupted write)"
+                f"{self.path}: v1 archive layout (RPZARCH1, single footer slot); "
+                "this build reads the crash-safe dual-slot RPZARCH2 layout — "
+                "recreate the archive"
             )
-        idx_off, idx_len, idx_crc = struct.unpack(_PTR_FMT, slot[: -len(_PTR_MAGIC)])
+        if head != _MAGIC:
+            raise ArchiveError(f"{self.path}: bad magic — not a repro archive")
+        if total < _DATA_START:
+            raise ArchiveError(f"{self.path}: too short to be an archive (truncated header)")
+        # Highest-sequence slot with a valid slot CRC wins.  A torn in-flight
+        # slot write fails its own CRC and is ignored (that commit never
+        # happened); the surviving slot holds exactly the committed entries.
+        slots = []
+        for slot_off in _SLOT_OFFS:
+            fh.seek(slot_off)
+            parsed = _parse_slot(fh.read(_SLOT_LEN))
+            if parsed is not None:
+                slots.append(parsed)
+        if not slots:
+            raise ArchiveCorruption(
+                f"{self.path}: both index footer slots are torn or corrupt — "
+                "run `repro archive repair`"
+            )
+        seq, idx_off, idx_len, idx_crc = max(slots)
         if idx_off < _DATA_START or idx_off + idx_len > total:
-            raise ArchiveError(f"{self.path}: index footer is truncated or out of bounds")
+            raise ArchiveCorruption(
+                f"{self.path}: index footer (seq {seq}) is truncated or out of "
+                f"bounds: index at byte {idx_off} (+{idx_len}) in a {total}-byte "
+                "file — run `repro archive repair`"
+            )
         fh.seek(idx_off)
         raw = fh.read(idx_len)
         if (zlib.crc32(raw) & 0xFFFFFFFF) != idx_crc:
-            raise ArchiveError(f"{self.path}: archive index failed its CRC check")
+            raise ArchiveCorruption(
+                f"{self.path}: archive index at byte {idx_off} ({idx_len} bytes) "
+                "failed its CRC check — run `repro archive repair`"
+            )
         self._entries = self._decode_index(raw)
         self._index_off = idx_off
         self._index_len = idx_len
+        self._seq = seq
 
     def _write_file_index(self, offset: int) -> None:
-        """Write the index JSON at ``offset``, then flip the pointer slot.
+        """Write the index JSON at ``offset``, then commit the footer slot.
 
-        The previous index block is never touched before the pointer flips,
-        so a crash at any point leaves the old index live and the archive
-        readable.
+        Sequence ``_seq + 1`` lands in the slot the *previous* commit did not
+        use, so the committed slot — and the index block it points at — are
+        never touched before the new state is durable; a crash at any byte of
+        either write leaves the old state live.
         """
         fh = self._fh
         assert fh is not None
         raw = self._encode_index()
         crc = zlib.crc32(raw) & 0xFFFFFFFF
         fh.seek(offset)
-        fh.write(raw)
+        _fault_write("archive.index-write", fh, raw)
         fh.truncate()
         fh.flush()
-        fh.seek(_PTR_OFF)
-        fh.write(struct.pack(_PTR_FMT, offset, len(raw), crc))
-        fh.write(_PTR_MAGIC)
+        seq = self._seq + 1
+        fh.seek(_SLOT_OFFS[seq % 2])
+        _fault_write("archive.footer-write", fh, _pack_slot(seq, offset, len(raw), crc))
         fh.flush()
         self._index_off = offset
         self._index_len = len(raw)
+        self._seq = seq
 
     # ------------------------------------------------------------- dir backend
     @property
@@ -327,23 +420,18 @@ class ArchiveStore:
     def _flush_dir_index(self) -> None:
         tmp = self._index_path + ".tmp"
         with open(tmp, "wb") as fh:
-            fh.write(self._encode_index())
+            _fault_write("archive.index-write", fh, self._encode_index())
         os.replace(tmp, self._index_path)
 
     # ------------------------------------------------------------ index codecs
     def _encode_index(self) -> bytes:
-        doc = {
-            "format": "repro.archive-index",
-            "version": _INDEX_VERSION,
-            "entries": [e.to_json() for e in self._entries.values()],
-        }
-        return json.dumps(doc, indent=1, sort_keys=True).encode("utf-8")
+        return _encode_index_doc(self._entries)
 
     def _decode_index(self, raw: bytes) -> dict[str, ArchiveEntry]:
         try:
             doc = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ArchiveError(f"{self.path}: corrupt archive index: {exc}") from None
+            raise ArchiveCorruption(f"{self.path}: corrupt archive index: {exc}") from None
         if not isinstance(doc, dict) or doc.get("format") != "repro.archive-index":
             raise ArchiveError(f"{self.path}: not a repro archive index")
         if doc.get("version") != _INDEX_VERSION:
@@ -372,23 +460,31 @@ class ArchiveStore:
                 f"no entry {name!r} in archive {self.path} (have {sorted(self._entries)})"
             ) from None
 
+    def _payload_at(self, e: ArchiveEntry, where) -> bytes:
+        """Read one stored payload copy: a byte offset (file backend) or a
+        filename (dir backend)."""
+        if self.backend == "file":
+            assert self._fh is not None and isinstance(where, int)
+            self._fh.seek(where)
+            return self._fh.read(e.nbytes)
+        try:
+            with open(os.path.join(self.path, where), "rb") as fh:
+                return fh.read()
+        except OSError as exc:
+            raise ArchiveCorruption(f"entry {e.name!r}: cannot read payload: {exc}") from None
+
     def read_bytes(self, name: str) -> bytes:
         """Raw stored bytes of one entry (a frame, or a snapshot stream)."""
         e = self.entry(name)
-        if self.backend == "file":
-            assert self._fh is not None and e.offset is not None
-            self._fh.seek(e.offset)
-            raw = self._fh.read(e.nbytes)
-        else:
-            assert e.filename is not None
-            try:
-                with open(os.path.join(self.path, e.filename), "rb") as fh:
-                    raw = fh.read()
-            except OSError as exc:
-                raise ArchiveError(f"entry {name!r}: cannot read payload: {exc}") from None
+        where = e.offset if self.backend == "file" else e.filename
+        raw = self._payload_at(e, where)
+        # Chaos hook ("archive.read"): short reads / bit rot injected here.
+        raw = _fault_mangle("archive.read", raw)
         if len(raw) != e.nbytes:
-            raise ArchiveError(
-                f"entry {name!r}: payload is {len(raw)} bytes, index says {e.nbytes}"
+            at = f"at byte {e.offset}" if e.offset is not None else f"in file {e.filename!r}"
+            raise ArchiveCorruption(
+                f"entry {name!r}: payload {at} is {len(raw)} bytes, index says "
+                f"{e.nbytes} — archive truncated or index stale"
             )
         return raw
 
@@ -422,7 +518,8 @@ class ArchiveStore:
         try:
             blob = CompressedBlob.from_bytes(self.read_bytes(name))
         except ContainerError as exc:
-            raise ArchiveError(f"entry {name!r}: {exc}") from None
+            at = f"archive byte {e.offset}" if e.offset is not None else f"file {e.filename!r}"
+            raise ArchiveCorruption(f"entry {name!r} (frame at {at}): {exc}") from None
         if key is not None:
             _blob_cache.put(key, blob, nbytes=blob.nbytes)
         return blob
@@ -434,7 +531,7 @@ class ArchiveStore:
             try:
                 snaps = StreamReader(self.read_bytes(name)).read_all()
             except ValueError as exc:  # includes ContainerError
-                raise ArchiveError(f"entry {name!r}: corrupt stream: {exc}") from None
+                raise ArchiveCorruption(f"entry {name!r}: corrupt stream: {exc}") from None
             return np.stack(snaps)
         blob = self.get_blob(name)
         return codec_class(blob.codec)().decompress(blob)
@@ -455,7 +552,12 @@ class ArchiveStore:
             raise ArchiveError(f"archive {self.path} is open read-only")
 
     def add_blob(
-        self, name: str, blob, meta: dict | None = None, replace: bool = False
+        self,
+        name: str,
+        blob,
+        meta: dict | None = None,
+        replace: bool = False,
+        copies: int = 1,
     ) -> ArchiveEntry:
         """Store one compressed field under ``name``.
 
@@ -463,6 +565,10 @@ class ArchiveStore:
         (batch workers ship bytes across process boundaries); bytes are
         parsed once for index metadata and stored verbatim.  Duplicate names
         are rejected unless ``replace=True`` (see :meth:`_add`).
+
+        ``copies=N`` writes ``N - 1`` extra full replicas of the payload
+        (recorded in :attr:`ArchiveEntry.replicas`) at N× the storage cost;
+        :meth:`repair` restores a rotted primary from any intact replica.
         """
         if isinstance(blob, (bytes, bytearray, memoryview)):
             payload = blob  # written as-is below; no defensive copy needed
@@ -483,6 +589,7 @@ class ArchiveStore:
             timesteps=1,
             meta=meta,
             replace=replace,
+            copies=copies,
         )
 
     def add_stream(
@@ -495,6 +602,7 @@ class ArchiveStore:
         timesteps: int,
         meta: dict | None = None,
         replace: bool = False,
+        copies: int = 1,
     ) -> ArchiveEntry:
         """Store a :class:`~repro.core.streaming.StreamWriter` byte stream."""
         return self._add(
@@ -508,6 +616,7 @@ class ArchiveStore:
             timesteps=int(timesteps),
             meta=meta,
             replace=replace,
+            copies=copies,
         )
 
     def _add(
@@ -523,11 +632,14 @@ class ArchiveStore:
         timesteps,
         meta,
         replace=False,
+        copies=1,
     ):
         # Replacing re-points the index at a freshly appended frame; in the
         # file backend the old frame's bytes become unreachable (space is
         # reclaimed by rewriting the archive, not in place).
         self._check_writable()
+        if copies < 1:
+            raise ArchiveError(f"entry {name!r}: copies must be >= 1, got {copies}")
         if name in self._entries and not replace:
             raise ArchiveError(f"entry {name!r} already exists in archive {self.path}")
         old = self._entries.get(name)
@@ -544,16 +656,21 @@ class ArchiveStore:
         )
         if self.backend == "file":
             # Append after the live index; the old index block stays valid
-            # until _write_file_index flips the pointer slot, so a crash in
-            # this window cannot lose already-archived entries.
+            # until _write_file_index commits the next footer slot, so a
+            # crash in this window cannot lose already-archived entries.
             assert self._fh is not None
             frame_off = self._index_off + self._index_len
             entry.offset = frame_off
             self._fh.seek(frame_off)
-            self._fh.write(payload)
+            _fault_write("archive.frame-write", self._fh, payload)
+            pos = frame_off + len(payload)
+            for _ in range(copies - 1):
+                entry.replicas.append(pos)
+                _fault_write("archive.frame-write", self._fh, payload)
+                pos += len(payload)
             self._fh.flush()
             self._entries[name] = entry
-            self._write_file_index(frame_off + len(payload))
+            self._write_file_index(pos)
         else:
             if old is not None and old.filename:
                 entry.filename = old.filename  # overwrite in place
@@ -561,18 +678,33 @@ class ArchiveStore:
                 taken = {e.filename for e in self._entries.values() if e.filename}
                 entry.filename = _safe_filename(name, taken)
             with open(os.path.join(self.path, entry.filename), "wb") as fh:
-                fh.write(payload)
+                _fault_write("archive.frame-write", fh, payload)
+            for k in range(1, copies):
+                replica = f"{entry.filename}.copy{k}"
+                with open(os.path.join(self.path, replica), "wb") as fh:
+                    _fault_write("archive.frame-write", fh, payload)
+                entry.replicas.append(replica)
             self._entries[name] = entry
             self._flush_dir_index()
         return entry
 
     # ----------------------------------------------------------------- verify
+    def _check_payload(self, e: ArchiveEntry, raw: bytes) -> None:
+        """Structural validity of one payload copy (parse + CRCs)."""
+        if len(raw) != e.nbytes:
+            raise ArchiveCorruption(f"payload is {len(raw)} bytes, index says {e.nbytes}")
+        if e.kind == "stream":
+            for _ in StreamReader(raw).frames():
+                pass
+        else:
+            CompressedBlob.from_bytes(raw)
+
     def verify(self, name: str | None = None, deep: bool = False) -> list[str]:
         """Integrity-check entries; returns a list of problem strings.
 
         The structural pass re-reads every frame through the container layer
-        (per-segment CRCs, index/shape/dtype agreement); ``deep=True`` also
-        decompresses each entry fully.
+        (per-segment CRCs, index/shape/dtype agreement) and every replica
+        copy; ``deep=True`` also decompresses each entry fully.
         """
         problems: list[str] = []
         targets = [self.entry(name)] if name is not None else self.entries()
@@ -610,4 +742,340 @@ class ArchiveStore:
                             )
             except (ArchiveError, ContainerError, ValueError) as exc:
                 problems.append(f"{e.name}: {exc}")
+            for k, where in enumerate(e.replicas, 1):
+                try:
+                    self._check_payload(e, self._payload_at(e, where))
+                except (ArchiveError, ContainerError, ValueError) as exc:
+                    problems.append(f"{e.name}: replica {k} ({where}): {exc}")
         return problems
+
+    # ----------------------------------------------------------------- repair
+    @classmethod
+    def repair(cls, path: str, backend: str | None = None, quarantine: str | None = None) -> dict:
+        """Self-heal an archive in place; returns a ``repro.archive-repair/1``
+        report dict.
+
+        Works even when :class:`ArchiveStore` refuses to open the archive:
+        the index is rebuilt from the newest intact footer slot or, failing
+        that, salvaged by scanning for the last valid index JSON block.
+        Every entry's payload is then structurally verified; a corrupt
+        primary is restored from its first intact replica (``copies=N``
+        entries), and entries with no surviving copy are moved to a
+        quarantine area (``<path>.quarantine/`` for the file backend,
+        ``<path>/quarantine/`` for the dir backend) together with a JSON
+        reason note, so damaged bytes stay inspectable but never readable
+        through the store.  CLI: ``repro archive repair``.
+        """
+        if backend not in (None, "file", "dir"):
+            raise ArchiveError(f"backend must be 'file' or 'dir', got {backend!r}")
+        if backend is None:
+            backend = "dir" if os.path.isdir(path) else "file"
+        if backend == "file" and not os.path.exists(path):
+            raise ArchiveError(f"archive {path} does not exist")
+        if backend == "dir" and not os.path.isdir(path):
+            raise ArchiveError(f"archive {path} does not exist")
+        if backend == "file":
+            report = _repair_file(path, quarantine)
+        else:
+            report = _repair_dir(path, quarantine)
+        clear_blob_cache()  # repaired entries must not serve stale parses
+        report["schema"] = REPAIR_SCHEMA
+        report["path"] = path
+        report["backend"] = backend
+        return report
+
+
+def _structurally_valid(kind: str, raw: bytes, nbytes: int) -> str | None:
+    """``None`` when one payload copy parses cleanly, else the problem."""
+    if len(raw) != nbytes:
+        return f"payload is {len(raw)} bytes, index says {nbytes}"
+    try:
+        if kind == "stream":
+            for _ in StreamReader(raw).frames():
+                pass
+        else:
+            CompressedBlob.from_bytes(raw)
+    except (ContainerError, ValueError) as exc:
+        return str(exc)
+    return None
+
+
+def _salvage_indexes(data: bytes) -> list[tuple[int, dict]]:
+    """Every parseable index JSON block in ``data``, oldest first.
+
+    Index blocks all start with :data:`_INDEX_MARKER`; superseded blocks are
+    never overwritten in place (appends land after the live index), so the
+    newest parseable block is the last committed index state.
+    """
+    found: list[tuple[int, dict]] = []
+    start = _DATA_START
+    decoder = json.JSONDecoder()
+    while True:
+        p = data.find(_INDEX_MARKER, start)
+        if p < 0:
+            break
+        # latin-1 maps bytes 1:1 onto code points, so raw_decode sees the
+        # exact byte stream; index JSON itself is pure ASCII (ensure_ascii).
+        try:
+            doc, _ = decoder.raw_decode(data[p:].decode("latin-1"))
+        except ValueError:
+            doc = None
+        if (
+            isinstance(doc, dict)
+            and doc.get("format") == "repro.archive-index"
+            and doc.get("version") == _INDEX_VERSION
+        ):
+            found.append((p, doc))
+        start = p + 1
+    return found
+
+
+def _quarantine_note(qdir: str, stem: str, payload: bytes, note: dict) -> None:
+    os.makedirs(qdir, exist_ok=True)
+    taken = set(os.listdir(qdir))
+    binname = _safe_filename(stem, taken, suffix=".bin")
+    with open(os.path.join(qdir, binname), "wb") as fh:
+        fh.write(payload)
+    note = dict(note, quarantined_bytes=binname)
+    with open(os.path.join(qdir, binname[: -len(".bin")] + ".json"), "w") as fh:
+        json.dump(note, fh, indent=1, sort_keys=True)
+
+
+def _repair_file(path: str, quarantine: str | None) -> dict:
+    qdir = quarantine or (path + ".quarantine")
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if data[: len(_OLD_MAGIC)] == _OLD_MAGIC:
+        raise ArchiveError(f"{path}: v1 archive layout (RPZARCH1) — recreate the archive")
+    if data[: len(_MAGIC)] != _MAGIC:
+        raise ArchiveError(f"{path}: bad magic — not a repro archive")
+    problems: list[str] = []
+    entries: dict[str, ArchiveEntry] | None = None
+    index_recovered = False
+    seq = 0
+    # 1. Newest committed footer slot whose index block is intact.
+    slots = []
+    for slot_off in _SLOT_OFFS:
+        parsed = _parse_slot(data[slot_off : slot_off + _SLOT_LEN])
+        if parsed is not None:
+            slots.append(parsed)
+        else:
+            problems.append(f"footer slot at byte {slot_off} is torn or blank")
+    for s, off, length, idx_crc in sorted(slots, reverse=True):
+        seq = max(seq, s)
+        raw = data[off : off + length]
+        if (
+            off >= _DATA_START
+            and off + length <= len(data)
+            and (zlib.crc32(raw) & 0xFFFFFFFF) == idx_crc
+        ):
+            try:
+                docs = json.loads(raw.decode("utf-8"))
+                entries = {
+                    e.name: e for e in (ArchiveEntry.from_json(d) for d in docs.get("entries", []))
+                }
+                break
+            except (UnicodeDecodeError, json.JSONDecodeError, ArchiveError, AttributeError):
+                problems.append(f"index at byte {off} (seq {s}) does not parse")
+        else:
+            problems.append(f"index at byte {off} (seq {s}) is out of bounds or fails its CRC")
+    # 2. No slot usable: scan for the last valid index JSON block.
+    if entries is None:
+        index_recovered = True
+        for p, doc in reversed(_salvage_indexes(data)):
+            try:
+                entries = {
+                    e.name: e for e in (ArchiveEntry.from_json(d) for d in doc.get("entries", []))
+                }
+                problems.append(f"index rebuilt from salvaged block at byte {p}")
+                break
+            except ArchiveError:
+                continue
+        if entries is None:
+            raise ArchiveCorruption(
+                f"{path}: unrepairable — no footer slot and no intact index block found"
+            )
+    # 3. Validate every payload copy; restore or quarantine.
+    ok: list[str] = []
+    restored: list[str] = []
+    quarantined: list[str] = []
+    kept: dict[str, ArchiveEntry] = {}
+
+    def copy_problem(e: ArchiveEntry, off) -> str | None:
+        if not isinstance(off, int) or off < _DATA_START or off + e.nbytes > len(data):
+            return f"offset {off!r} out of bounds"
+        return _structurally_valid(e.kind, data[off : off + e.nbytes], e.nbytes)
+
+    for e in entries.values():
+        primary_problem = copy_problem(e, e.offset)
+        live = [r for r in e.replicas if copy_problem(e, r) is None]
+        dead = [r for r in e.replicas if r not in live]
+        if dead:
+            problems.append(f"{e.name}: dropped {len(dead)} corrupt replica(s) at {dead}")
+        if primary_problem is None:
+            e.replicas = live
+            kept[e.name] = e
+            ok.append(e.name)
+        elif live:
+            problems.append(
+                f"{e.name}: primary at byte {e.offset} corrupt ({primary_problem}); "
+                f"restored from replica at byte {live[0]}"
+            )
+            e.offset = live[0]
+            e.replicas = live[1:]
+            kept[e.name] = e
+            restored.append(e.name)
+        else:
+            lo = e.offset if isinstance(e.offset, int) else 0
+            payload = data[max(0, lo) : max(0, lo) + e.nbytes]
+            _quarantine_note(
+                qdir,
+                e.name,
+                payload,
+                {
+                    "entry": e.name,
+                    "reason": primary_problem,
+                    "offset": e.offset,
+                    "nbytes": e.nbytes,
+                    "source": path,
+                },
+            )
+            problems.append(f"{e.name}: quarantined ({primary_problem})")
+            quarantined.append(e.name)
+    # 4. Commit the repaired index: fresh block at EOF, next footer slot.
+    raw = _encode_index_doc(kept)
+    crc = zlib.crc32(raw) & 0xFFFFFFFF
+    with open(path, "r+b") as fh:
+        off = len(data)
+        fh.seek(off)
+        fh.write(raw)
+        fh.truncate()
+        fh.flush()
+        nseq = seq + 1
+        fh.seek(_SLOT_OFFS[nseq % 2])
+        fh.write(_pack_slot(nseq, off, len(raw), crc))
+        fh.flush()
+    return {
+        "scanned": len(entries),
+        "ok": sorted(ok),
+        "restored": sorted(restored),
+        "quarantined": sorted(quarantined),
+        "index_recovered": index_recovered,
+        "quarantine_dir": qdir if quarantined else None,
+        "problems": problems,
+    }
+
+
+def _repair_dir(path: str, quarantine: str | None) -> dict:
+    qdir = quarantine or os.path.join(path, "quarantine")
+    idx_path = os.path.join(path, "index.json")
+    problems: list[str] = []
+    index_recovered = False
+    entries: dict[str, ArchiveEntry] = {}
+    try:
+        with open(idx_path, "rb") as fh:
+            doc = json.loads(fh.read().decode("utf-8"))
+        if not isinstance(doc, dict) or doc.get("format") != "repro.archive-index":
+            raise ValueError("not a repro archive index")
+        entries = {e.name: e for e in (ArchiveEntry.from_json(d) for d in doc.get("entries", []))}
+    except (OSError, ValueError, ArchiveError) as exc:
+        # Rebuild best-effort from the .rpz files themselves (entry names
+        # come back as filename stems; eb/meta of stream entries are gone).
+        index_recovered = True
+        problems.append(f"index.json unusable ({exc}); rebuilt from directory scan")
+        for fn in sorted(os.listdir(path)):
+            if not fn.endswith(".rpz"):
+                continue
+            full = os.path.join(path, fn)
+            try:
+                with open(full, "rb") as fh:
+                    raw = fh.read()
+                blob = CompressedBlob.from_bytes(raw)
+            except (OSError, ContainerError) as exc2:
+                problems.append(f"{fn}: unreadable during rebuild ({exc2})")
+                continue
+            name = fn[: -len(".rpz")]
+            entries[name] = ArchiveEntry(
+                name=name,
+                kind="field",
+                codec=codec_name(blob.codec),
+                shape=blob.shape,
+                dtype=np.dtype(blob.dtype).name,
+                eb_abs=float(blob.error_bound),
+                nbytes=len(raw),
+                filename=fn,
+            )
+    ok: list[str] = []
+    restored: list[str] = []
+    quarantined: list[str] = []
+    kept: dict[str, ArchiveEntry] = {}
+
+    def copy_problem(e: ArchiveEntry, fn) -> str | None:
+        if not fn:
+            return "no filename"
+        try:
+            with open(os.path.join(path, fn), "rb") as fh:
+                raw = fh.read()
+        except OSError as exc:
+            return str(exc)
+        return _structurally_valid(e.kind, raw, e.nbytes)
+
+    for e in entries.values():
+        primary_problem = copy_problem(e, e.filename)
+        live = [r for r in e.replicas if copy_problem(e, r) is None]
+        dead = [r for r in e.replicas if r not in live]
+        if dead:
+            problems.append(f"{e.name}: dropped {len(dead)} corrupt replica(s): {dead}")
+        if primary_problem is None:
+            e.replicas = live
+            kept[e.name] = e
+            ok.append(e.name)
+        elif live:
+            # Promote the replica file over the damaged primary in place.
+            src = os.path.join(path, live[0])
+            with open(src, "rb") as fh:
+                payload = fh.read()
+            with open(os.path.join(path, e.filename), "wb") as fh:
+                fh.write(payload)
+            problems.append(
+                f"{e.name}: primary file {e.filename!r} corrupt ({primary_problem}); "
+                f"restored from replica {live[0]!r}"
+            )
+            e.replicas = live[1:]
+            kept[e.name] = e
+            restored.append(e.name)
+        else:
+            os.makedirs(qdir, exist_ok=True)
+            payload = b""
+            src = os.path.join(path, e.filename) if e.filename else None
+            if src and os.path.exists(src):
+                with open(src, "rb") as fh:
+                    payload = fh.read()
+                os.remove(src)
+            _quarantine_note(
+                qdir,
+                e.name,
+                payload,
+                {
+                    "entry": e.name,
+                    "reason": primary_problem,
+                    "filename": e.filename,
+                    "nbytes": e.nbytes,
+                    "source": path,
+                },
+            )
+            problems.append(f"{e.name}: quarantined ({primary_problem})")
+            quarantined.append(e.name)
+    tmp = idx_path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(_encode_index_doc(kept))
+    os.replace(tmp, idx_path)
+    return {
+        "scanned": len(entries),
+        "ok": sorted(ok),
+        "restored": sorted(restored),
+        "quarantined": sorted(quarantined),
+        "index_recovered": index_recovered,
+        "quarantine_dir": qdir if quarantined else None,
+        "problems": problems,
+    }

@@ -1,0 +1,55 @@
+"""Eval chaos: a cell that dies mid-sweep must not poison the matrix.
+
+The runner's per-cell isolation turns an injected fault into one typed
+``failed`` cell; everything already finished stays archived, and a resumed
+run re-executes only the missing cells and converges to a clean matrix.
+"""
+
+from repro.evaluation import parse_config, run_eval
+from repro.faults import FaultPlan, FaultSpec, ReproFaults
+from repro.service import ArchiveStore
+
+
+def _cfg():
+    return parse_config(
+        {
+            "eval": {"kind": "cr-table"},
+            "matrix": {
+                "datasets": ["nyx", "rtm"],
+                "codecs": ["cusz-l"],
+                "ebs": [1e-2, 1e-3],
+            },
+            "datasets": {
+                "nyx": {"shape": [8, 8, 8]},
+                "rtm": {"shape": [8, 8, 8]},
+            },
+        },
+        name="chaos-eval",
+    )
+
+
+def test_faulted_cell_fails_typed_then_resume_completes(
+    tmp_path, chaos_seed, chaos_plan
+):
+    cfg = _cfg()
+    arc = str(tmp_path / "eval.rpza")
+    plan = chaos_plan(
+        FaultPlan([FaultSpec("eval.cell", "error", at=2)], seed=chaos_seed)
+    )
+    with ReproFaults(plan, env=False):
+        run1 = run_eval(cfg, arc)
+    # Exactly the faulted cell failed — typed, isolated, not archived.
+    assert not run1.ok
+    assert len(run1.failed) == 1
+    assert len([r for r in run1.cells if r.status == "ok"]) == 3
+    failed_cell = run1.failed[0]
+    with ArchiveStore(arc) as store:
+        assert failed_cell not in store.names()
+        assert store.verify(deep=True) == []
+    # Resume without the fault: only the missing cell runs, matrix completes.
+    run2 = run_eval(cfg, arc)
+    assert run2.ok
+    assert set(run2.executed) == {failed_cell}
+    with ArchiveStore(arc) as store:
+        assert store.verify(deep=True) == []
+        assert len(store) == 4

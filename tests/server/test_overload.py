@@ -118,25 +118,22 @@ class TestDeadlines:
     def test_pooled_deadline_covers_started_work(self, serve, http):
         """A task a worker *starts* in time but cannot finish in budget still
         gets 503 — the deadline bounds total latency, not just queue wait —
-        and the worker's unwanted answer is counted as a late result."""
-        rng = np.random.default_rng(7)
-        field = rng.normal(size=(96, 96, 96)).astype(np.float32)  # ~seconds even warm
+        and the worker's unwanted answer is counted as a late result.
+
+        An injected one-second stall (``repro.faults``) stands in for the
+        slow compress, so the timing holds on any hardware: the payload is
+        tiny (dequeue happens well inside the deadline, passing the worker's
+        pre-check), the stall then burns the whole budget mid-task, and the
+        worker's eventual answer arrives after the frontend gave up."""
+        from repro.faults import FaultPlan, FaultSpec, ReproFaults
+
         tiny = np.zeros((8, 8, 8), dtype=np.float32)
+        plan = FaultPlan(
+            [FaultSpec("pool.worker-task", "stall", at=1, count=1, arg=1.0)], seed=7
+        )
 
         async def scenario(server):
-            # Warm both workers (spawn + imports + first-call caches can
-            # exceed the deadline, which would trip the dequeue pre-check
-            # instead of the path under test; round-robin routing alternates
-            # the warmups across the two workers).
-            warmed = 0
-            for _ in range(200):
-                warm = await http(server, "POST", _compress_target(tiny), tiny.tobytes())
-                warmed += warm.status == 200
-                if warmed >= 4:
-                    break
-                await asyncio.sleep(0.05)
-            assert warmed >= 4
-            resp = await http(server, "POST", _compress_target(field), field.tobytes())
+            resp = await http(server, "POST", _compress_target(tiny), tiny.tobytes())
             for _ in range(200):  # wait for the worker to finish the unwanted work
                 stats = (await http(server, "GET", "/stats")).json()
                 if stats["pool"]["late_results"] >= 1:
@@ -144,7 +141,8 @@ class TestDeadlines:
                 await asyncio.sleep(0.05)
             return resp, stats
 
-        resp, stats = serve(scenario, worker_procs=2, deadline_ms=200.0)
+        with ReproFaults(plan):
+            resp, stats = serve(scenario, worker_procs=2, deadline_ms=200.0)
         assert resp.status == 503
         assert b"deadline" in resp.body
         assert stats["admission"]["expired_503"] >= 1

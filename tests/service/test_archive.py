@@ -209,6 +209,7 @@ class TestCorruption:
                 arch.get("ens")
             assert arch.verify(deep=True)  # reported, not raised
 
-    def test_index_pointer_slot_is_fixed_width(self):
-        # The crash-safe pointer-flip protocol depends on this exact width.
-        assert struct.calcsize("<QQI") + len(b"RPZAIDX1") == 28
+    def test_index_footer_slot_is_fixed_width(self):
+        # The crash-safe dual-slot commit protocol depends on this exact
+        # width: seq/offset/len/index-CRC, the slot's own CRC, then magic.
+        assert struct.calcsize("<QQQI") + struct.calcsize("<I") + len(b"RPZAIDX2") == 40

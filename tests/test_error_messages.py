@@ -1,0 +1,82 @@
+"""Drift tests pinning the *shape* of corruption error messages.
+
+ContainerError and ArchiveError messages are operator UI: the corruption
+runbook (docs/OPERATIONS.md) tells people to read the absolute byte offset
+and the entry/segment name straight out of the exception.  These tests pin
+that contract — if a refactor drops the offset or the name from a message,
+they fail before an operator has to debug a corrupt archive blind.
+"""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.core.container import CompressedBlob, ContainerError
+from repro.faults import FaultPlan, FaultSpec, ReproFaults
+from repro.service import ArchiveCorruption, ArchiveStore
+
+
+def _blob() -> CompressedBlob:
+    blob = CompressedBlob(
+        codec=1, shape=(8, 8), dtype=np.dtype(np.float32), error_bound=1e-3
+    )
+    blob.segments["codes"] = bytes(range(200)) * 3
+    return blob
+
+
+class TestContainerMessages:
+    def test_truncation_names_offset_and_need(self):
+        wire = _blob().to_bytes()
+        with pytest.raises(ContainerError) as err:
+            CompressedBlob.from_bytes(wire[: len(wire) - 40])
+        assert re.search(
+            r"truncated container: .+ at byte \d+ extends past end of data "
+            r"\(need \d+ bytes, have \d+\)",
+            str(err.value),
+        ), str(err.value)
+
+    def test_segment_truncation_names_segment(self):
+        wire = _blob().to_bytes()
+        with pytest.raises(ContainerError, match=r"segment 'codes' payload at byte \d+"):
+            CompressedBlob.from_bytes(wire[:-10])
+
+    def test_crc_mismatch_names_segment_offset_and_length(self):
+        wire = bytearray(_blob().to_bytes())
+        wire[-20] ^= 0x40  # rot one payload byte; lengths stay intact
+        with pytest.raises(
+            ContainerError, match=r"CRC mismatch in segment 'codes' at byte \d+ \(\d+ bytes\)"
+        ):
+            CompressedBlob.from_bytes(bytes(wire))
+
+
+class TestArchiveMessages:
+    @pytest.fixture()
+    def archive(self, tmp_path):
+        path = str(tmp_path / "msg.rpza")
+        field = np.linspace(0, 1, 16**3, dtype=np.float32).reshape(16, 16, 16)
+        from repro import compress
+
+        with ArchiveStore(path, mode="w") as arch:
+            arch.add_blob("nyx", compress(field, eb=1e-3))
+        return path
+
+    def test_short_read_names_entry_offset_and_sizes(self, archive):
+        plan = FaultPlan([FaultSpec("archive.read", "short-read", byte=64)], seed=1)
+        with ReproFaults(plan, env=False), ArchiveStore(archive) as arch:
+            with pytest.raises(ArchiveCorruption) as err:
+                arch.read_bytes("nyx")
+        assert re.search(
+            r"entry 'nyx': payload at byte \d+ is 64 bytes, index says \d+",
+            str(err.value),
+        ), str(err.value)
+
+    def test_bit_rot_names_entry_and_archive_offset(self, archive):
+        # A flipped payload bit fails the container CRC; the archive layer
+        # must wrap that with the entry name and its byte offset in the file.
+        plan = FaultPlan([FaultSpec("archive.read", "bit-flip", byte=512)], seed=2)
+        with ReproFaults(plan, env=False), ArchiveStore(archive) as arch:
+            with pytest.raises(
+                ArchiveCorruption, match=r"entry 'nyx' \(frame at archive byte \d+\)"
+            ):
+                arch.get("nyx")

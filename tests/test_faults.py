@@ -1,0 +1,183 @@
+"""repro.faults: spec validation, arming, determinism, hook semantics."""
+
+import io
+import os
+
+import pytest
+
+from repro.faults import (
+    ENV_VAR,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    ReproFaults,
+    active_plan,
+    fire,
+    hits,
+    mangle,
+    write,
+)
+
+
+class TestSpecsAndPlans:
+    def test_unknown_kind_fails_at_construction(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("archive.read", "teleport")
+
+    def test_bad_at_count(self):
+        with pytest.raises(ValueError, match="at/count"):
+            FaultSpec("archive.read", "bit-flip", at=0)
+        with pytest.raises(ValueError, match="at/count"):
+            FaultSpec("archive.read", "bit-flip", count=0)
+
+    def test_matches_window(self):
+        spec = FaultSpec("p", "error", at=3, count=2)
+        assert [spec.matches(h) for h in (1, 2, 3, 4, 5)] == [
+            False, False, True, True, False,
+        ]
+
+    def test_json_roundtrip_via_env_string(self):
+        plan = FaultPlan(
+            [FaultSpec("archive.frame-write", "torn-write", at=2, byte=17)], seed=99
+        )
+        again = FaultPlan.loads(plan.dumps())
+        assert again.seed == 99
+        assert again.specs == plan.specs
+
+    def test_malformed_env_plan_is_loud(self):
+        with pytest.raises(ValueError, match="malformed"):
+            FaultPlan.loads("{not json")
+        with pytest.raises(ValueError, match="specs"):
+            FaultPlan.loads('{"seed": 1}')
+
+
+class TestArming:
+    def test_context_manager_arms_and_restores_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "sentinel")
+        plan = FaultPlan([FaultSpec("p", "error")], seed=1)
+        with ReproFaults(plan):
+            assert active_plan() is plan
+            assert os.environ[ENV_VAR] == plan.dumps()
+        assert active_plan() is None
+        assert os.environ[ENV_VAR] == "sentinel"
+
+    def test_context_accepts_bare_spec_list(self):
+        with ReproFaults([FaultSpec("p", "error")], seed=5) as plan:
+            assert plan.seed == 5
+        assert active_plan() is None
+
+    def test_disarmed_hooks_are_noops(self):
+        payload = b"payload"
+        fire("anything")  # must not raise
+        assert mangle("anything", payload) is payload  # same object, no copy
+        buf = io.BytesIO()
+        write("anything", buf, b"abc")
+        assert buf.getvalue() == b"abc"
+
+    def test_hits_counted_per_point(self):
+        with ReproFaults([FaultSpec("a", "error", at=10)], env=False):
+            fire("a"), fire("a"), fire("b")
+            assert hits("a") == 2 and hits("b") == 1
+        assert hits("a") == 0  # counters reset on disarm
+
+
+class TestFireKinds:
+    def test_error_fires_at_exact_hit(self):
+        with ReproFaults([FaultSpec("p", "error", at=2)], env=False):
+            fire("p")  # hit 1: no match
+            with pytest.raises(FaultInjected, match="injected fault at p"):
+                fire("p")  # hit 2
+            fire("p")  # hit 3: window passed
+
+    def test_conn_reset_raises_oserror_family(self):
+        with ReproFaults([FaultSpec("p", "conn-reset")], env=False):
+            with pytest.raises(ConnectionResetError):
+                fire("p")
+
+    def test_stall_sleeps_then_continues(self):
+        import time
+
+        with ReproFaults([FaultSpec("p", "stall", arg=0.05)], env=False):
+            t0 = time.perf_counter()
+            fire("p")  # must return, not raise
+            assert time.perf_counter() - t0 >= 0.04
+
+
+class TestDataHooks:
+    def test_bit_flip_is_deterministic_from_seed(self):
+        data = bytes(range(64))
+        with ReproFaults([FaultSpec("p", "bit-flip")], seed=7, env=False):
+            flipped_a = mangle("p", data)
+        with ReproFaults([FaultSpec("p", "bit-flip")], seed=7, env=False):
+            flipped_b = mangle("p", data)
+        with ReproFaults([FaultSpec("p", "bit-flip")], seed=8, env=False):
+            flipped_c = mangle("p", data)
+        assert flipped_a == flipped_b != data
+        assert len(flipped_a) == len(data)
+        assert flipped_a != flipped_c  # different seed, different bit
+        assert sum(a != b for a, b in zip(flipped_a, data)) == 1
+
+    def test_bit_flip_pinned_byte(self):
+        data = b"\0" * 8
+        with ReproFaults([FaultSpec("p", "bit-flip", byte=3)], env=False):
+            out = mangle("p", data)
+        assert out[3] != 0 and out[:3] == b"\0\0\0" and out[4:] == b"\0\0\0\0"
+
+    def test_short_read_drops_tail(self):
+        data = bytes(range(32))
+        with ReproFaults([FaultSpec("p", "short-read", byte=5)], env=False):
+            assert mangle("p", data) == data[:5]
+
+    def test_unmatched_hit_passes_through_same_object(self):
+        data = b"data"
+        with ReproFaults([FaultSpec("p", "bit-flip", at=5)], env=False):
+            assert mangle("p", data) is data
+
+
+class TestWriteHook:
+    def test_torn_write_writes_prefix_then_raises(self):
+        buf = io.BytesIO()
+        with ReproFaults([FaultSpec("p", "torn-write", byte=3)], env=False):
+            with pytest.raises(FaultInjected, match=r"torn write after 3/8 bytes"):
+                write("p", buf, b"ABCDEFGH")
+        assert buf.getvalue() == b"ABC"
+
+    def test_lost_flush_writes_nothing_reports_success(self):
+        buf = io.BytesIO()
+        with ReproFaults([FaultSpec("p", "lost-flush")], env=False):
+            write("p", buf, b"ABCDEFGH")  # no exception
+        assert buf.getvalue() == b""
+
+    def test_write_bit_flip_rots_exactly_one_bit(self):
+        buf = io.BytesIO()
+        data = bytes(64)
+        with ReproFaults([FaultSpec("p", "bit-flip")], seed=3, env=False):
+            write("p", buf, data)
+        rotted = buf.getvalue()
+        assert len(rotted) == len(data)
+        assert sum(a != b for a, b in zip(rotted, data)) == 1
+
+
+class TestCrossProcess:
+    def test_spawned_process_arms_from_env(self):
+        import subprocess
+        import sys
+
+        plan = FaultPlan([FaultSpec("child.point", "error")], seed=4)
+        code = (
+            "from repro.faults import active_plan, fire, FaultInjected\n"
+            "assert active_plan() is not None\n"
+            "try:\n"
+            "    fire('child.point')\n"
+            "except FaultInjected:\n"
+            "    print('FIRED-IN-CHILD')\n"
+        )
+        env = dict(os.environ, **{ENV_VAR: plan.dumps()})
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(os.getcwd(), "src"), env.get("PYTHONPATH")) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+        assert out.returncode == 0, out.stderr
+        assert "FIRED-IN-CHILD" in out.stdout

@@ -1,0 +1,121 @@
+"""Cluster scale-out benchmark (PR 10 acceptance).
+
+Runs the committed 8-field smoke manifest (``configs/cluster_smoke.toml``)
+through :func:`repro.cluster.run_cluster` twice — one worker subprocess,
+then two — and reports wall time, aggregate compress throughput and the
+scale-out speedup.  Both runs must converge cleanly (all fields ok, merged
+shard set verifies); the ≥1.5x two-worker speedup assertion self-skips on
+hosts with fewer than 4 usable CPUs, where two compression subprocesses
+just time-slice one core.
+
+A machine-readable summary lands in the benchmark-artifacts directory as
+``CLUSTER_smoke.json``; the committed baseline from a real run lives at
+``benchmarks/history/CLUSTER_smoke.json``.
+
+Run explicitly: ``pytest benchmarks/test_cluster_throughput.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.cluster import run_cluster
+from repro.core import resolve_workers
+from repro.service.manifest import load_manifest
+
+MIN_CPUS = 4  # below this, two compute-bound subprocesses share one core
+TARGET_SPEEDUP = 1.5
+MANIFEST = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "configs",
+    "cluster_smoke.toml",
+)
+
+
+def _artifacts_dir() -> str:
+    path = os.environ.get("REPRO_BENCH_ARTIFACTS", "benchmark-artifacts")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def test_cluster_two_worker_speedup(tmp_path, capsys):
+    cpus = resolve_workers(0)
+    spec = load_manifest(MANIFEST)
+
+    runs = {}
+    for workers in (1, 2):
+        t0 = time.perf_counter()
+        report = run_cluster(
+            spec,
+            str(tmp_path / f"out{workers}"),
+            workers=workers,
+            lease_ttl_s=30.0,
+            timeout_s=300.0,
+        )
+        wall = time.perf_counter() - t0
+        assert report["drained"], f"{workers}-worker run did not drain"
+        assert report["ok"] == len(spec.fields) and report["failed"] == 0
+        assert report["verify_problems"] == []
+        raw = sum(w["raw_nbytes"] for w in report["workers"].values())
+        runs[workers] = {
+            "workers": workers,
+            "wall_s": round(wall, 4),
+            "fields": report["ok"],
+            "raw_nbytes": raw,
+            "throughput_mbs": round(raw / wall / 1e6, 3),
+            "reassignments": len(report["reassignments"]),
+        }
+
+    speedup = runs[1]["wall_s"] / runs[2]["wall_s"]
+    rows = [
+        [
+            str(w),
+            f"{r['wall_s']:.2f}",
+            f"{r['throughput_mbs']:.1f}",
+            f"{runs[1]['wall_s'] / r['wall_s']:.2f}",
+        ]
+        for w, r in runs.items()
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["workers", "wall s", "MB/s", "speedup"],
+                rows,
+                title=f"cluster scale-out — {runs[1]['fields']} fields, {cpus} CPUs",
+            )
+        )
+
+    doc = {
+        "schema": "repro.cluster-bench/1",
+        "generated_unix": int(time.time()),
+        "host": {
+            "cpus": cpus,
+            "platform": platform.system().lower(),
+            "python": platform.python_version(),
+        },
+        "manifest": os.path.basename(MANIFEST),
+        "speedup_2w": round(speedup, 3),
+        "target_speedup": TARGET_SPEEDUP,
+        "asserted": cpus >= MIN_CPUS,
+        "runs": [runs[1], runs[2]],
+    }
+    with open(os.path.join(_artifacts_dir(), "CLUSTER_smoke.json"), "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+    if cpus < MIN_CPUS:
+        pytest.skip(
+            f"speedup={speedup:.2f}x measured, but only {cpus} CPUs are usable "
+            f"({sys.platform}); the >= {TARGET_SPEEDUP}x assertion needs {MIN_CPUS}+"
+        )
+    assert speedup >= TARGET_SPEEDUP, (
+        f"2-worker speedup {speedup:.2f}x < {TARGET_SPEEDUP}x on {cpus} CPUs"
+    )

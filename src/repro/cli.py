@@ -12,9 +12,13 @@ Usage::
     repro archive   ls corpus.rpza
     repro archive   get corpus.rpza temperature -o temp.f32
     repro archive   verify corpus.rpza --deep
+    repro archive   verify out/worker-*.rpza
     repro archive   repair corpus.rpza
     repro serve     ./archives --port 8077 --cache-bytes 268435456
     repro serve     ./archives --workers-procs 4 --queue-depth 64 --deadline-ms 5000
+    repro cluster   run corpus.toml -o out --workers 4 --replicas 2
+    repro cluster   coordinator corpus.toml --port 8090
+    repro cluster   worker --coordinator 127.0.0.1:8090 --shard out/w0.rpza
 
 Each subcommand's ``--help`` names the documentation file covering it
 (``docs/ARCHITECTURE.md``, ``docs/API.md``, ``docs/COOKBOOK.md``,
@@ -359,23 +363,55 @@ def _cmd_archive_get(args) -> int:
 
 
 def _cmd_archive_verify(args) -> int:
+    import glob as _glob
+
     from .service import ArchiveError
 
-    try:
-        with _open_archive(args.archive) as arch:
-            problems = arch.verify(name=args.name, deep=args.deep)
-            n = 1 if args.name else len(arch)
-    except (ArchiveError, OSError) as exc:
-        return _fail(str(exc))
-    noun = "entry" if n == 1 else "entries"
-    if problems:
-        for p in problems:
-            print(f"PROBLEM: {p}", file=sys.stderr)
-        print(f"{args.archive}: {len(problems)} problem(s) in {n} {noun}", file=sys.stderr)
-        return 1
+    # Expand globs ourselves so `repro archive verify out/worker-*.rpza`
+    # behaves the same from scripts (no shell) as from an interactive shell.
+    paths: list[str] = []
+    for raw in args.archives:
+        matched = sorted(_glob.glob(raw))
+        paths.extend(matched if matched else [raw])
     depth = "deep" if args.deep else "structural"
-    print(f"{args.archive}: {n} {noun} OK ({depth} check)")
-    return 0
+    rows: list[tuple[str, str, int, int]] = []  # (path, verdict, entries, problems)
+    unreadable = 0
+    total_problems = 0
+    for path in paths:
+        try:
+            with _open_archive(path) as arch:
+                problems = arch.verify(name=args.entry, deep=args.deep)
+                n = 1 if args.entry else len(arch)
+        except (ArchiveError, OSError) as exc:
+            print(f"PROBLEM: {path}: {exc}", file=sys.stderr)
+            rows.append((path, "UNREADABLE", 0, 1))
+            unreadable += 1
+            continue
+        for p in problems:
+            print(f"PROBLEM: {path}: {p}", file=sys.stderr)
+        total_problems += len(problems)
+        rows.append((path, "OK" if not problems else "FAILED", n, len(problems)))
+    if len(rows) == 1 and not unreadable:
+        # Single-archive invocations keep their familiar one-line verdict.
+        path, verdict, n, nproblems = rows[0]
+        noun = "entry" if n == 1 else "entries"
+        if verdict == "OK":
+            print(f"{path}: {n} {noun} OK ({depth} check)")
+            return 0
+        print(f"{path}: {nproblems} problem(s) in {n} {noun}", file=sys.stderr)
+        return 1
+    width = max(len(r[0]) for r in rows)
+    print(f"{'archive':{width}s}  {'verdict':10s} {'entries':>7s} {'problems':>8s}")
+    for path, verdict, n, nproblems in rows:
+        print(f"{path:{width}s}  {verdict:10s} {n:7d} {nproblems:8d}")
+    bad = sum(1 for r in rows if r[1] != "OK")
+    print(
+        f"{len(rows)} archive(s): {len(rows) - bad} OK, {bad} with problems ({depth} check)",
+        file=sys.stderr if bad else sys.stdout,
+    )
+    if unreadable:
+        return 2
+    return 1 if total_problems else 0
 
 
 def _cmd_archive_repair(args) -> int:
@@ -460,6 +496,153 @@ def _cmd_serve(args) -> int:
             f"cannot serve {args.root} on {args.host}:{args.port}: {exc.strerror or exc}"
         )
     return 0
+
+
+def _load_cluster_manifest(path: str):
+    from .service import ManifestError, load_manifest
+
+    try:
+        return load_manifest(path)
+    except ManifestError as exc:
+        raise SystemExit(_fail(str(exc))) from None
+
+
+def _cmd_cluster_coordinator(args) -> int:
+    import asyncio
+    import logging
+
+    from .cluster import ClusterCoordinator
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(levelname)s %(message)s"
+    )
+    spec = _load_cluster_manifest(args.manifest)
+    coordinator = ClusterCoordinator(
+        spec, host=args.host, port=args.port, lease_ttl_s=args.lease_ttl
+    )
+
+    async def _serve() -> dict:
+        await coordinator.start()
+        # The OS picks the port for --port 0; workers need to see the result.
+        print(f"coordinating {spec.name} on http://{coordinator.address}", flush=True)
+        try:
+            return await coordinator.run_until_drained(
+                timeout_s=args.timeout if args.timeout > 0 else None
+            )
+        finally:
+            await coordinator.stop()
+
+    try:
+        report = asyncio.run(_serve())
+    except KeyboardInterrupt:
+        return 1
+    except TimeoutError:
+        return _fail(f"job {spec.name!r} did not drain within {args.timeout}s")
+    except OSError as exc:
+        return _fail(f"cannot bind {args.host}:{args.port}: {exc.strerror or exc}")
+    return _finish_cluster_report(report, args.report)
+
+
+def _cmd_cluster_worker(args) -> int:
+    import logging
+
+    from .client import ClientError, RetryPolicy
+    from .cluster import ClusterWorker, WorkerError
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(levelname)s %(message)s"
+    )
+    try:
+        worker = ClusterWorker(
+            args.coordinator,
+            args.shard,
+            name=args.name,
+            policy=RetryPolicy(deadline_s=args.deadline if args.deadline > 0 else None),
+            seed=args.seed,
+        )
+        summary = worker.run()
+    except (WorkerError, ClientError, OSError, ValueError) as exc:
+        return _fail(str(exc))
+    print(
+        f"worker {summary['worker']}: {summary['ok']} ok, {summary['failed']} failed, "
+        f"{summary['resumed']} resumed -> {summary['shard']} "
+        f"({summary['client']['requests']} requests over "
+        f"{summary['client']['conn_opens']} connection(s))"
+    )
+    return 0 if summary["failed"] == 0 else 1
+
+
+def _finish_cluster_report(report: dict, report_path: str | None) -> int:
+    import json
+
+    if report_path:
+        with open(report_path, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    for row in report["reassignments"]:
+        print(
+            f"  reassigned {row['field']:24s} from {row['worker']} "
+            f"(attempt {row['attempt']}, held {row['held_s']:.1f}s)"
+        )
+    for name, row in sorted(report["workers"].items()):
+        print(
+            f"  {name:8s} {row['ok']:3d} ok {row['failed']:3d} failed "
+            f"{row['resumed']:3d} resumed  {row['throughput_mbs']:8.1f} MB/s  "
+            f"-> {row['shard']}"
+        )
+    problems = report.get("verify_problems", [])
+    for p in problems:
+        print(f"PROBLEM: {p}", file=sys.stderr)
+    status = "converged" if report["drained"] else "DID NOT DRAIN"
+    print(
+        f"{report['job']}: {status} — {report['ok']} ok, {report['failed']} failed "
+        f"of {report['fields']} fields in {report['elapsed_s']:.2f}s "
+        f"({len(report['reassignments'])} reassignment(s))"
+    )
+    failed = report["failed"] or problems or not report["drained"]
+    return 1 if failed else 0
+
+
+def _cmd_cluster_run(args) -> int:
+    import json
+    import logging
+
+    from .cluster import WorkerError, run_cluster
+    from .faults import FaultPlan
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(levelname)s %(message)s"
+    )
+    spec = _load_cluster_manifest(args.manifest)
+    worker_env = None
+    if args.faults:
+        try:
+            with open(args.faults) as fh:
+                plan = FaultPlan.from_json(json.load(fh))
+        except (OSError, ValueError) as exc:
+            return _fail(f"cannot load fault plan {args.faults}: {exc}")
+        if not 0 <= args.fault_worker < args.workers:
+            return _fail(
+                f"--fault-worker {args.fault_worker} out of range for {args.workers} workers"
+            )
+        # Arm exactly one victim: every worker arms REPRO_FAULTS at import
+        # with its own hit counters, so a plan in the shared environment
+        # would fire in all of them at once.
+        worker_env = {args.fault_worker: {"REPRO_FAULTS": plan.dumps()}}
+    try:
+        report = run_cluster(
+            spec,
+            args.outdir,
+            workers=args.workers,
+            lease_ttl_s=args.lease_ttl,
+            replicas=args.replicas,
+            timeout_s=args.timeout,
+            worker_env=worker_env,
+        )
+    except (WorkerError, TimeoutError, OSError, ValueError) as exc:
+        return _fail(str(exc))
+    report_path = args.report or f"{args.outdir.rstrip('/')}/cluster_report.json"
+    return _finish_cluster_report(report, report_path)
 
 
 def _add_command(sub, name: str, help_text: str, doc: str, **kwargs):
@@ -720,8 +903,14 @@ def build_parser() -> argparse.ArgumentParser:
         "integrity-check archive entries (structural, or --deep full decode)",
         "docs/API.md (ArchiveStore.verify)",
     )
-    pver.add_argument("archive")
-    pver.add_argument("name", nargs="?", default=None)
+    pver.add_argument(
+        "archives",
+        nargs="+",
+        help="archive paths or globs; several at once print a per-archive summary table",
+    )
+    pver.add_argument(
+        "--entry", default=None, metavar="NAME", help="check only this entry in each archive"
+    )
     pver.add_argument(
         "--deep", action="store_true", help="also fully decompress every checked entry"
     )
@@ -793,6 +982,114 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request deadline for heavy work; expired requests get 503 (0 = none)",
     )
     ps.set_defaults(func=_cmd_serve)
+
+    pcl = _add_command(
+        sub,
+        "cluster",
+        "distributed batch tier: coordinator, workers, single-host runs",
+        "docs/API.md (repro cluster), docs/OPERATIONS.md (topology, tuning, runbooks)",
+    )
+    csub = pcl.add_subparsers(dest="cluster_command", required=True)
+
+    pcc = _add_command(
+        csub,
+        "coordinator",
+        "serve one manifest's work queue over HTTP until every field is acked",
+        "docs/API.md (coordinator endpoints) and docs/OPERATIONS.md (lease tuning)",
+    )
+    pcc.add_argument("manifest")
+    pcc.add_argument("--host", default="127.0.0.1", help="bind address")
+    pcc.add_argument("--port", type=int, default=0, help="bind port (0 = pick a free port)")
+    pcc.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=15.0,
+        metavar="S",
+        help="seconds a lease survives without an ack or heartbeat",
+    )
+    pcc.add_argument(
+        "--timeout",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="give up if the queue has not drained after S seconds (0 = wait forever)",
+    )
+    pcc.add_argument(
+        "--report", default=None, metavar="PATH", help="write the repro.cluster-report/1 JSON here"
+    )
+    pcc.set_defaults(func=_cmd_cluster_coordinator)
+
+    pcw = _add_command(
+        csub,
+        "worker",
+        "pull leased fields from a coordinator and compress them into one shard",
+        "docs/API.md (repro cluster worker) and docs/OPERATIONS.md (lost-worker runbook)",
+    )
+    pcw.add_argument(
+        "--coordinator", required=True, metavar="HOST:PORT", help="coordinator address"
+    )
+    pcw.add_argument(
+        "--shard", required=True, metavar="PATH", help="this worker's .rpza shard (append mode)"
+    )
+    pcw.add_argument("--name", default=None, help="worker identity (default: w<pid>)")
+    pcw.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="per-request retry budget against the coordinator (0 = none)",
+    )
+    pcw.add_argument("--seed", type=int, default=0, help="retry-jitter seed")
+    pcw.set_defaults(func=_cmd_cluster_worker)
+
+    pcr = _add_command(
+        csub,
+        "run",
+        "single-host cluster: local coordinator + N worker processes + merged verify",
+        "docs/API.md (repro cluster run) and docs/OPERATIONS.md (topology)",
+    )
+    pcr.add_argument("manifest")
+    pcr.add_argument(
+        "-o", "--outdir", required=True, help="directory for worker shards and the report"
+    )
+    pcr.add_argument("--workers", type=int, default=2, help="worker processes to spawn")
+    pcr.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=15.0,
+        metavar="S",
+        help="seconds a lease survives without an ack or heartbeat",
+    )
+    pcr.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        metavar="K",
+        help="copies of each hot field across distinct shards (1 = off)",
+    )
+    pcr.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S", help="abort if not drained in time"
+    )
+    pcr.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="report path (default: OUTDIR/cluster_report.json)",
+    )
+    pcr.add_argument(
+        "--faults",
+        default=None,
+        metavar="FILE",
+        help="JSON fault plan armed in one designated worker (chaos testing)",
+    )
+    pcr.add_argument(
+        "--fault-worker",
+        type=int,
+        default=0,
+        metavar="IDX",
+        help="which worker index receives the --faults plan",
+    )
+    pcr.set_defaults(func=_cmd_cluster_run)
     return p
 
 

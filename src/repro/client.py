@@ -8,10 +8,20 @@ a ``Retry-After`` hint.  This module is the client half of that contract:
 * :class:`RetryPolicy` — capped exponential backoff with seeded jitter,
   which statuses to retry, how far a ``Retry-After`` header may stretch a
   pause, and a per-request wall-clock deadline;
-* :class:`ReproClient` — synchronous (``http.client``), one request per
-  connection exactly like the server;
-* :class:`AsyncReproClient` — the same policy over asyncio streams, used by
-  ``benchmarks/loadgen.py`` and the chaos suite.
+* :class:`ReproClient` — synchronous (``http.client``) with **keep-alive**:
+  the connection is cached across sequential requests and reused until the
+  server closes it (``repro serve`` answers ``Connection: close`` per
+  request; the cluster coordinator keeps the socket open, so a worker's
+  whole poll loop rides one TCP connection).  A request that dies on a
+  *reused* socket — the server closed it between requests — is replayed
+  once on a fresh connection before the retry policy gets involved;
+* :class:`AsyncReproClient` — the same policy over asyncio streams, one
+  connection per request, used by ``benchmarks/loadgen.py`` and the chaos
+  suite.
+
+``stats["conn_opens"]`` counts actual TCP connects, so harnesses can assert
+socket reuse (``conn_opens == 1`` across N requests against a keep-alive
+server) as well as persistence.
 
 Both clients keep ``retries`` / ``gave_up`` counters (:attr:`ReproClient.stats`)
 so harnesses can report persistence instead of dying on the first non-2xx:
@@ -185,11 +195,11 @@ class _RetryLoop:
 
 
 class ReproClient:
-    """Synchronous retrying client (``http.client`` transport).
+    """Synchronous retrying client (``http.client`` transport, keep-alive).
 
     >>> client = ReproClient("127.0.0.1", 0, seed=7)
     >>> client.stats
-    {'requests': 0, 'retries': 0, 'gave_up': 0}
+    {'requests': 0, 'retries': 0, 'gave_up': 0, 'conn_opens': 0}
     """
 
     def __init__(
@@ -199,7 +209,8 @@ class ReproClient:
         self.port = port
         self.policy = policy or RetryPolicy()
         self._rng = random.Random(f"{seed}:{host}:{port}")
-        self.stats = {"requests": 0, "retries": 0, "gave_up": 0}
+        self.stats = {"requests": 0, "retries": 0, "gave_up": 0, "conn_opens": 0}
+        self._conn = None  # cached keep-alive connection (not thread-safe)
 
     # ----------------------------------------------------------- conveniences
     def get(self, target: str, deadline_s: float | None = None) -> Response:
@@ -207,6 +218,18 @@ class ReproClient:
 
     def post(self, target: str, body: bytes, deadline_s: float | None = None) -> Response:
         return self.request("POST", target, body, deadline_s=deadline_s)
+
+    def close(self) -> None:
+        """Drop the cached keep-alive connection (idempotent)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------- core
     def request(
@@ -254,18 +277,41 @@ class ReproClient:
         return response
 
     def _exchange(self, method: str, target: str, body: bytes, timeout_s: float) -> Response:
+        """One attempt over the cached connection (opened on demand).
+
+        A keep-alive socket the server quietly closed between requests fails
+        only once we write to it; that failure says nothing about the server,
+        so it is replayed once on a fresh connection *inside* the attempt —
+        the retry policy's budget is reserved for real failures.  Timeouts
+        are never replayed: the peer was reached and is merely slow.
+        """
         import http.client
 
-        conn = http.client.HTTPConnection(self.host, self.port, timeout=timeout_s)
+        reused = self._conn is not None
+        conn = self._conn
+        if conn is None:
+            conn = http.client.HTTPConnection(self.host, self.port, timeout=timeout_s)
+            self.stats["conn_opens"] += 1
+        elif conn.sock is not None:
+            conn.sock.settimeout(timeout_s)
         try:
             conn.request(method, target, body=body)
             resp = conn.getresponse()
             payload = resp.read()
             headers = {k.lower(): v for k, v in resp.getheaders()}
-        except http.client.HTTPException as exc:  # torn response, bad status line
-            raise ConnectionError(f"{type(exc).__name__}: {exc}") from exc
-        finally:
+        except (http.client.HTTPException, *_TRANSPORT_ERRORS) as exc:
             conn.close()
+            self._conn = None
+            if reused and not isinstance(exc, TimeoutError):
+                return self._exchange(method, target, body, timeout_s)
+            if isinstance(exc, http.client.HTTPException):  # torn response line
+                raise ConnectionError(f"{type(exc).__name__}: {exc}") from exc
+            raise
+        if resp.will_close:  # HTTP/1.0 peer or explicit Connection: close
+            conn.close()
+            self._conn = None
+        else:
+            self._conn = conn
         return Response(resp.status, headers, payload)
 
 
@@ -284,7 +330,7 @@ class AsyncReproClient:
         self.port = port
         self.policy = policy or RetryPolicy()
         self._rng = random.Random(f"{seed}:{host}:{port}")
-        self.stats = {"requests": 0, "retries": 0, "gave_up": 0}
+        self.stats = {"requests": 0, "retries": 0, "gave_up": 0, "conn_opens": 0}
 
     async def get(self, target: str, deadline_s: float | None = None) -> Response:
         return await self.request("GET", target, deadline_s=deadline_s)
@@ -335,10 +381,13 @@ class AsyncReproClient:
         import asyncio
 
         reader, writer = await asyncio.open_connection(self.host, self.port)
+        self.stats["conn_opens"] += 1
         try:
+            # Explicit Connection: close — this transport reads to EOF, so a
+            # keep-alive server (the cluster coordinator) must hang up.
             head = (
                 f"{method} {target} HTTP/1.1\r\nHost: {self.host}\r\n"
-                f"Content-Length: {len(body)}\r\n\r\n"
+                f"Connection: close\r\nContent-Length: {len(body)}\r\n\r\n"
             )
             writer.write(head.encode("latin-1") + body)
             await writer.drain()

@@ -1,0 +1,182 @@
+"""Distributed batch tier: coordinator + pull-loop workers + sharded archives.
+
+The single-node :class:`~repro.service.runner.BatchRunner` schedules one
+machine; this package scales the same manifests across processes or hosts
+(ROADMAP item 4, the multi-machine orchestration model of the paper's
+evaluation harness):
+
+* :mod:`repro.cluster.leases` — the pure lease state machine (LPT ordering,
+  TTL expiry, exactly-once ack accounting);
+* :mod:`repro.cluster.coordinator` — an asyncio keep-alive HTTP control
+  plane over one manifest (``repro cluster coordinator``);
+* :mod:`repro.cluster.worker` — the pull loop: lease, compress via the
+  batch runner's own field path, append to an owned ``.rpza`` shard with
+  crash-resume, ack with metrics (``repro cluster worker``);
+* :mod:`repro.cluster.shards` — the merged read view over per-worker
+  shards, plus k-way replication of ``hot = true`` manifest fields so
+  archive reads survive a lost shard.
+
+:func:`run_cluster` wires all of it together on one host — coordinator on
+a thread, N worker subprocesses, replica placement, merged verification
+and the ``repro.cluster-report/1`` document — and is what ``repro cluster
+run`` (and the chaos/benchmark suites) call.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import subprocess
+import sys
+import time
+
+from ..service.manifest import JobSpec
+from .coordinator import REPORT_SCHEMA, STATUS_SCHEMA, ClusterCoordinator, CoordinatorThread
+from .leases import Lease, LeaseBoard
+from .shards import ShardSet
+from .worker import ClusterWorker, WorkerError
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "STATUS_SCHEMA",
+    "ClusterCoordinator",
+    "ClusterWorker",
+    "CoordinatorThread",
+    "Lease",
+    "LeaseBoard",
+    "ShardSet",
+    "WorkerError",
+    "run_cluster",
+]
+
+log = logging.getLogger("repro.cluster")
+
+
+def _spawn_worker(
+    address: str,
+    shard: str,
+    name: str,
+    extra_env: dict | None = None,
+) -> subprocess.Popen:
+    """One worker subprocess, armed with this interpreter and ``repro``.
+
+    ``PYTHONPATH`` is pinned to the package's own parent directory: the
+    spawned interpreter must import the same ``repro`` this process runs,
+    whether it was installed or is living on a dev checkout's ``src``.
+    """
+    import repro
+
+    env = dict(os.environ)
+    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = pkg_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.update(extra_env or {})
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "cluster",
+            "worker",
+            "--coordinator",
+            address,
+            "--shard",
+            shard,
+            "--name",
+            name,
+        ],
+        env=env,
+    )
+
+
+def run_cluster(
+    spec: JobSpec,
+    outdir: str,
+    workers: int = 2,
+    lease_ttl_s: float = 15.0,
+    replicas: int = 2,
+    timeout_s: float = 600.0,
+    worker_env: dict[int, dict] | None = None,
+    max_respawns: int | None = None,
+) -> dict:
+    """Run one manifest on a local coordinator + ``workers`` subprocesses.
+
+    Returns the final ``repro.cluster-report/1`` document, extended with the
+    merged-shard view: replica placement for ``hot`` fields, the shard list,
+    and any verification problems.  A worker that dies (SIGKILL, injected
+    kill, crash) is replaced — up to ``max_respawns`` times, default one
+    replacement per original worker — and its leases expire back into the
+    queue; the run converges as long as one worker survives.
+
+    ``worker_env`` maps worker index -> extra environment for that one
+    subprocess; the chaos suite uses it to arm a ``REPRO_FAULTS`` plan in a
+    single designated victim instead of every worker.
+    """
+    if workers < 1:
+        raise ValueError(f"need at least one worker, got {workers}")
+    os.makedirs(outdir, exist_ok=True)
+    if max_respawns is None:
+        max_respawns = workers
+    coordinator = CoordinatorThread(spec, lease_ttl_s=lease_ttl_s).start()
+    shard_of = lambda i: os.path.join(outdir, f"worker-{i}.rpza")  # noqa: E731
+    procs: dict[int, subprocess.Popen] = {}
+    respawns = 0
+    deadline = time.monotonic() + timeout_s
+    try:
+        for i in range(workers):
+            procs[i] = _spawn_worker(
+                coordinator.address, shard_of(i), f"w{i}", (worker_env or {}).get(i)
+            )
+        # Babysit: replace dead workers until the board drains.  A respawned
+        # worker reuses the dead one's shard and resumes committed entries.
+        while not coordinator.wait_drained(timeout_s=0.25):
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"cluster run did not drain within {timeout_s}s")
+            for i, proc in list(procs.items()):
+                code = proc.poll()
+                if code is None or code == 0:
+                    continue
+                del procs[i]
+                if respawns >= max_respawns:
+                    log.error("worker w%d died (exit %s); respawn budget spent", i, code)
+                    continue
+                respawns += 1
+                log.warning("worker w%d died (exit %s) — respawning on its shard", i, code)
+                procs[i] = _spawn_worker(coordinator.address, shard_of(i), f"w{i}r", None)
+            if not procs:
+                raise WorkerError("every worker died and the respawn budget is spent")
+        for proc in procs.values():
+            try:
+                proc.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+        report = coordinator.coordinator.report()
+    finally:
+        for proc in procs.values():
+            if proc.poll() is None:
+                proc.kill()
+        coordinator.stop()
+
+    # ---------------------------------------------------------- merge layer
+    shard_paths = [p for p in (shard_of(i) for i in range(workers)) if os.path.exists(p)]
+    hot = [f.name for f in spec.fields if f.hot]
+    # Coverage is judged against what the board says succeeded: a field acked
+    # "failed" is a report line, not a hole in the merged archive.
+    expected = sorted(n for n, s in report["field_status"].items() if s == "ok")
+    with ShardSet(shard_paths) as shards:
+        placement = {}
+        if hot and replicas > 1:
+            placement = shards.replicate([n for n in hot if n in shards.names()], k=replicas)
+        problems = shards.verify(expected=expected)
+    report["replicas"] = {
+        "k": replicas,
+        "hot_fields": hot,
+        "placement": {
+            name: [os.path.basename(p) for p in where] for name, where in placement.items()
+        },
+    }
+    report["shards"] = [os.path.basename(p) for p in shard_paths]
+    report["respawns"] = respawns
+    report["verify_problems"] = problems
+    return report

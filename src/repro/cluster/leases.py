@@ -1,0 +1,220 @@
+"""Lease state machine for the cluster work queue (pure, deterministic).
+
+The coordinator's correctness rides on this module, so it is HTTP-free and
+clock-free: callers pass ``now`` explicitly, which is what lets the property
+suite (``tests/cluster/test_leases.py``) drive random worker join/leave/
+SIGKILL schedules against a simulated clock and assert the two invariants
+the distributed tier promises:
+
+* **exactly-once completion** — every field lands in ``done`` exactly once,
+  no matter how many stale leases, late acks or duplicate acks arrive;
+* **accounted reassignment** — every lease expiry requeues its field exactly
+  once (``len(board.reassignments)`` equals the number of expirations), so a
+  SIGKILLed worker's fields are picked up by the survivors and the final
+  report can name each handoff.
+
+Fields are handed out in LPT order (largest cost first — the same greedy
+4/3-approximate makespan policy :class:`~repro.service.runner.BatchRunner`
+uses), and an expired field returns to the *front* of the queue: it has
+already waited a full lease, so it must not queue behind the tail again.
+
+>>> board = LeaseBoard([("big", 100.0), ("small", 1.0)], ttl_s=10.0)
+>>> lease = board.lease("w0", now=0.0)
+>>> lease.field                     # largest first
+'big'
+>>> board.expire(now=11.0)[0].field # w0 died: requeued for the survivors
+'big'
+>>> board.lease("w1", now=11.0).field
+'big'
+>>> len(board.reassignments)
+1
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["Lease", "LeaseBoard"]
+
+
+@dataclass
+class Lease:
+    """One grant: ``worker`` owns ``field`` until ``expires_at``."""
+
+    lease_id: str
+    field: str
+    worker: str
+    granted_at: float
+    expires_at: float
+    attempt: int  # 1-based: how many grants this field has seen, this included
+
+
+@dataclass
+class AckRecord:
+    """What the board remembers about one completed field."""
+
+    field: str
+    worker: str
+    lease_id: str
+    status: str  # "ok" | "failed" — mirrors FieldResult.status
+    late: bool  # acked after the lease had already expired
+    info: dict = field(default_factory=dict)
+
+
+class LeaseBoard:
+    """Work-queue bookkeeping: pending -> leased -> done, with expiry requeue.
+
+    ``fields`` is ``[(name, cost), ...]``; ``ttl_s`` is how long a grant
+    lives without a heartbeat.  All methods take ``now`` so the caller owns
+    the clock (the coordinator passes ``time.monotonic()``, tests pass a
+    simulated time).
+    """
+
+    def __init__(self, fields, ttl_s: float = 15.0):
+        if ttl_s <= 0:
+            raise ValueError(f"ttl_s must be > 0, got {ttl_s}")
+        names = [name for name, _ in fields]
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        if dupes:
+            raise ValueError(f"duplicate field names: {dupes}")
+        self.ttl_s = float(ttl_s)
+        self.costs = {name: float(cost) for name, cost in fields}
+        # LPT: largest first; ties broken by name for determinism.
+        self._pending: list[str] = sorted(names, key=lambda n: (-self.costs[n], n))
+        self._leases: dict[str, Lease] = {}
+        #: expired grants kept around so a late ack can still name its field
+        self._expired: dict[str, Lease] = {}
+        self._done: dict[str, AckRecord] = {}
+        self._attempts: dict[str, int] = dict.fromkeys(names, 0)
+        #: one row per expiry — the report's reassignment ledger
+        self.reassignments: list[dict] = []
+        self.duplicate_acks = 0
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------ state
+    @property
+    def pending(self) -> list[str]:
+        return list(self._pending)
+
+    @property
+    def leased(self) -> list[Lease]:
+        return list(self._leases.values())
+
+    @property
+    def done(self) -> dict[str, AckRecord]:
+        return dict(self._done)
+
+    @property
+    def drained(self) -> bool:
+        """Every field acked: nothing pending, nothing in flight."""
+        return not self._pending and not self._leases
+
+    def counts(self) -> dict:
+        by_status = {"ok": 0, "failed": 0}
+        for rec in self._done.values():
+            by_status[rec.status] = by_status.get(rec.status, 0) + 1
+        return {
+            "fields": len(self.costs),
+            "pending": len(self._pending),
+            "leased": len(self._leases),
+            "done": len(self._done),
+            **by_status,
+            "reassignments": len(self.reassignments),
+            "duplicate_acks": self.duplicate_acks,
+        }
+
+    # ------------------------------------------------------------ transitions
+    def lease(self, worker: str, now: float) -> Lease | None:
+        """Grant the next pending field to ``worker``; ``None`` when the
+        queue is momentarily empty (wait and re-poll unless :attr:`drained`)."""
+        while self._pending:
+            name = self._pending.pop(0)
+            if name in self._done:  # late-acked while requeued: nothing to do
+                continue
+            self._attempts[name] += 1
+            lease = Lease(
+                lease_id=f"L{next(self._ids)}",
+                field=name,
+                worker=worker,
+                granted_at=now,
+                expires_at=now + self.ttl_s,
+                attempt=self._attempts[name],
+            )
+            self._leases[lease.lease_id] = lease
+            return lease
+        return None
+
+    def ack(self, lease_id: str, now: float, status: str = "ok", info: dict | None = None) -> str:
+        """Record a completion.  Returns the disposition:
+
+        ``"ok"``
+            The lease was live; the field is done.
+        ``"late"``
+            The lease had expired (the field was back in the queue or
+            re-leased), but nobody finished it first — the work still
+            counts, exactly once, and any concurrent re-grant will come
+            back ``"duplicate"``.
+        ``"duplicate"``
+            The field was already done; nothing recorded.
+        ``"unknown"``
+            No such lease was ever granted.
+        """
+        lease = self._leases.pop(lease_id, None)
+        late = False
+        if lease is None:
+            lease = self._expired.pop(lease_id, None)
+            late = True
+        if lease is None:
+            return "unknown"
+        if lease.field in self._done:
+            self.duplicate_acks += 1
+            return "duplicate"
+        if late:
+            # The field may be pending again or re-leased to someone else;
+            # either way this ack wins and the re-grant becomes redundant.
+            if lease.field in self._pending:
+                self._pending.remove(lease.field)
+        self._done[lease.field] = AckRecord(
+            field=lease.field,
+            worker=lease.worker,
+            lease_id=lease_id,
+            status=status,
+            late=late,
+            info=dict(info or {}),
+        )
+        return "late" if late else "ok"
+
+    def heartbeat(self, worker: str, now: float) -> int:
+        """Renew every live lease ``worker`` holds; returns how many."""
+        renewed = 0
+        for lease in self._leases.values():
+            if lease.worker == worker:
+                lease.expires_at = now + self.ttl_s
+                renewed += 1
+        return renewed
+
+    def expire(self, now: float) -> list[Lease]:
+        """Requeue every lease past its deadline (each exactly once).
+
+        The expired grant is remembered so a worker that was merely slow —
+        not dead — can still land a ``"late"`` ack instead of having its
+        finished work recomputed.
+        """
+        requeued: list[Lease] = []
+        for lease_id in [k for k, v in self._leases.items() if v.expires_at <= now]:
+            lease = self._leases.pop(lease_id)
+            self._expired[lease_id] = lease
+            if lease.field not in self._done and lease.field not in self._pending:
+                self._pending.insert(0, lease.field)
+            self.reassignments.append(
+                {
+                    "field": lease.field,
+                    "worker": lease.worker,
+                    "lease_id": lease.lease_id,
+                    "attempt": lease.attempt,
+                    "held_s": round(now - lease.granted_at, 3),
+                }
+            )
+            requeued.append(lease)
+        return requeued

@@ -1,0 +1,215 @@
+"""Merged read view over per-worker archive shards, with k-way replication.
+
+A cluster run leaves one ``.rpza`` shard per worker.  :class:`ShardSet`
+opens all of them behind a single manifest-level index: it routes each
+field name to the shard that holds it, reports coverage against the
+manifest (missing / duplicate fields), and survives individual shard
+loss — an unreadable shard is recorded as a problem, not raised, so the
+surviving shards stay readable.
+
+Replication (``replicate``) copies designated-hot fields into ``k``
+distinct shards.  Each copy is a full archive entry tagged with
+``meta["replica_of"]`` naming its home shard, so (a) coverage accounting
+never confuses a deliberate replica with an accidental double-compute,
+and (b) reads of a hot field fall back to the next shard when the
+primary copy is corrupt or its whole shard is gone.  Within a shard the
+existing ``copies=N`` machinery of :meth:`ArchiveStore.add_blob` guards
+against byte rot (``repro archive repair``); across shards, ``ShardSet``
+is the analogous guard against losing an entire file.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..service.archive import ArchiveCorruption, ArchiveError, ArchiveStore
+
+__all__ = ["ShardSet"]
+
+#: meta key marking a cross-shard replica; its value names the home shard.
+REPLICA_KEY = "replica_of"
+
+
+class ShardSet:
+    """Read-only merged index over N archive shards.
+
+    Opening is tolerant by design: a shard that fails to open (missing
+    file, torn footer, rotted index) lands in :attr:`errors` and every
+    other shard still serves reads — that is the whole point of the
+    replication layer.  Callers that need a hard failure check
+    ``shardset.errors`` themselves.
+    """
+
+    def __init__(self, paths):
+        if not paths:
+            raise ArchiveError("ShardSet needs at least one shard path")
+        self.paths = [os.fspath(p) for p in paths]
+        self.stores: dict[str, ArchiveStore] = {}
+        #: shard path -> why it failed to open
+        self.errors: dict[str, str] = {}
+        for path in self.paths:
+            try:
+                self.stores[path] = ArchiveStore(path, mode="r")
+            except (ArchiveError, OSError) as exc:
+                self.errors[path] = str(exc)
+
+    def __enter__(self) -> "ShardSet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        for store in self.stores.values():
+            store.close()
+        self.stores.clear()
+
+    # ---------------------------------------------------------------- index
+    def locations(self, name: str) -> list[str]:
+        """Every shard holding ``name`` — primaries first, replicas after,
+        each group in :attr:`paths` order (deterministic fallback chain)."""
+        primaries, replicas = [], []
+        for path in self.paths:
+            store = self.stores.get(path)
+            if store is not None and name in store:
+                if REPLICA_KEY in store.entry(name).meta:
+                    replicas.append(path)
+                else:
+                    primaries.append(path)
+        return primaries + replicas
+
+    def names(self) -> list[str]:
+        """Union of entry names across all readable shards, sorted."""
+        seen: set[str] = set()
+        for store in self.stores.values():
+            seen.update(store.names())
+        return sorted(seen)
+
+    def duplicates(self) -> dict[str, list[str]]:
+        """Fields whose *primary* copy appears in more than one shard.
+
+        Tagged replicas are excluded — a duplicate here means two workers
+        both computed the field, i.e. the exactly-once invariant broke.
+        """
+        out: dict[str, list[str]] = {}
+        for name in self.names():
+            primaries = [
+                p
+                for p in self.paths
+                if (s := self.stores.get(p)) is not None
+                and name in s
+                and REPLICA_KEY not in s.entry(name).meta
+            ]
+            if len(primaries) > 1:
+                out[name] = primaries
+        return out
+
+    def missing(self, expected) -> list[str]:
+        """Expected field names with no copy in any readable shard."""
+        have = set(self.names())
+        return sorted(n for n in expected if n not in have)
+
+    # ---------------------------------------------------------------- reads
+    def _route(self, name: str):
+        chain = self.locations(name)
+        if not chain:
+            raise ArchiveError(
+                f"no shard holds entry {name!r} "
+                f"(readable shards: {sorted(self.stores)}, lost: {sorted(self.errors)})"
+            )
+        return chain
+
+    def get(self, name: str):
+        """Decompress ``name``, falling back across copies on corruption."""
+        return self._read(name, lambda store: store.get(name))
+
+    def get_blob(self, name: str):
+        """Parsed frame of ``name``, with the same fallback chain."""
+        return self._read(name, lambda store: store.get_blob(name))
+
+    def read_bytes(self, name: str) -> bytes:
+        return self._read(name, lambda store: store.read_bytes(name))
+
+    def entry(self, name: str):
+        return self.stores[self._route(name)[0]].entry(name)
+
+    def _read(self, name: str, op):
+        last: Exception | None = None
+        for path in self._route(name):
+            try:
+                return op(self.stores[path])
+            except ArchiveCorruption as exc:
+                last = exc  # this copy is damaged — try the next shard
+        raise ArchiveCorruption(f"entry {name!r}: every copy is damaged: {last}")
+
+    # --------------------------------------------------------------- verify
+    def verify(self, expected=None, deep: bool = False) -> list[str]:
+        """Integrity problems across the whole shard set.
+
+        Per-shard structural verification (frame CRCs, index agreement,
+        in-shard replicas) plus set-level coverage: unreadable shards,
+        fields missing everywhere, and untagged cross-shard duplicates.
+        """
+        problems = [f"{path}: unreadable shard: {err}" for path, err in sorted(self.errors.items())]
+        for path in self.paths:
+            store = self.stores.get(path)
+            if store is not None:
+                problems.extend(f"{path}: {p}" for p in store.verify(deep=deep))
+        if expected is not None:
+            problems.extend(f"missing everywhere: {n}" for n in self.missing(expected))
+        for name, where in sorted(self.duplicates().items()):
+            problems.append(f"{name}: primary copy in {len(where)} shards: {where}")
+        return problems
+
+    # ------------------------------------------------------------ replicate
+    def replicate(self, names, k: int = 2) -> dict[str, list[str]]:
+        """Copy each field in ``names`` until it lives in ``k`` distinct
+        shards; returns the final placement ``{name: [shard, ...]}``.
+
+        Copies go to the emptiest eligible shards first (by entry count) so
+        replicas spread instead of piling into one file.  Asking for more
+        copies than there are readable shards replicates as wide as
+        possible — that is a degraded placement, not an error, and shows up
+        as ``len(placement[name]) < k`` for the report to flag.
+        """
+        if k < 1:
+            raise ArchiveError(f"replication factor must be >= 1, got {k}")
+        placement: dict[str, list[str]] = {}
+        for name in names:
+            have = self.locations(name)
+            if not have:
+                raise ArchiveError(f"cannot replicate {name!r}: no shard holds it")
+            home = have[0]
+            payload = None
+            candidates = sorted(
+                (p for p in self.stores if p not in have),
+                key=lambda p: (len(self.stores[p]), self.paths.index(p)),
+            )
+            for target in candidates[: max(0, k - len(have))]:
+                if payload is None:
+                    payload = self.read_bytes(name)
+                    entry = self.entry(name)
+                store = self.stores[target]
+                # Reopen writable just for the append; reads continue through
+                # a fresh read handle afterwards.
+                store.close()
+                meta = dict(entry.meta, **{REPLICA_KEY: os.path.basename(home)})
+                try:
+                    with ArchiveStore(target, mode="a") as writer:
+                        if entry.kind == "stream":
+                            writer.add_stream(
+                                name,
+                                payload,
+                                shape=entry.shape,
+                                dtype=entry.dtype,
+                                eb_abs=entry.eb_abs,
+                                timesteps=entry.timesteps,
+                                meta=meta,
+                            )
+                        else:
+                            writer.add_blob(name, payload, meta=meta)
+                finally:
+                    self.stores[target] = ArchiveStore(target, mode="r")
+                have.append(target)
+            placement[name] = have
+        return placement

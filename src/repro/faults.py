@@ -35,6 +35,14 @@ point                      where / what it can do
 ``eval.cell``              evaluation runner, before executing a cell
 ``client.request``         :mod:`repro.client`, before each HTTP attempt
                            (connection reset, stall)
+``cluster.lease-grant``    cluster coordinator, inside ``POST /lease``
+                           (injected error -> retryable 503 to the worker)
+``cluster.ack``            cluster coordinator, inside ``POST /ack``
+                           (injected error -> retryable 503; the lease
+                           expires and the field is resumed, not redone)
+``cluster.shard-append``   cluster worker, before appending a compressed
+                           field to its shard (SIGKILL = the lost-worker
+                           scenario; error = failed append, acked failed)
 ========================== ==================================================
 
 Every hook is a zero-overhead no-op while no plan is armed: one module

@@ -11,8 +11,15 @@ the same machinery on the command line.
 """
 
 from .archive import ArchiveCorruption, ArchiveEntry, ArchiveError, ArchiveNotFound, ArchiveStore
-from .manifest import FieldSpec, JobSpec, ManifestError, load_manifest, parse_manifest
-from .runner import REPORT_SCHEMA, BatchReport, BatchRunner, FieldResult
+from .manifest import (
+    FieldSpec,
+    JobSpec,
+    ManifestError,
+    jobspec_to_doc,
+    load_manifest,
+    parse_manifest,
+)
+from .runner import REPORT_SCHEMA, BatchReport, BatchRunner, FieldResult, estimate_field_cost
 
 __all__ = [
     "ArchiveCorruption",
@@ -23,10 +30,12 @@ __all__ = [
     "FieldSpec",
     "JobSpec",
     "ManifestError",
+    "jobspec_to_doc",
     "load_manifest",
     "parse_manifest",
     "BatchReport",
     "BatchRunner",
     "FieldResult",
     "REPORT_SCHEMA",
+    "estimate_field_cost",
 ]

@@ -71,6 +71,7 @@ __all__ = [
     "FieldSpec",
     "JobSpec",
     "ManifestError",
+    "jobspec_to_doc",
     "load_manifest",
     "parse_manifest",
     "resolve_field_path",
@@ -104,6 +105,10 @@ class FieldSpec:
     pipeline: str | None = None
     timesteps: int = 1
     temporal: bool = False
+    #: replication hint for the distributed tier: ``hot = true`` fields are
+    #: copied across k shards by ``repro cluster run`` so their reads survive
+    #: a lost shard (single-node runners ignore the flag).
+    hot: bool = False
 
     @property
     def is_stream(self) -> bool:
@@ -192,6 +197,7 @@ _FIELD_KEYS = frozenset(
         "pipeline",
         "timesteps",
         "temporal",
+        "hot",
     )
 )
 
@@ -249,6 +255,7 @@ def _parse_field(raw: dict, pos: int) -> FieldSpec:
         pipeline=raw.get("pipeline"),
         timesteps=timesteps,
         temporal=bool(raw.get("temporal", False)),
+        hot=bool(raw.get("hot", False)),
     )
 
 
@@ -359,6 +366,64 @@ def load_manifest(path: str) -> JobSpec:
     base_dir = os.path.dirname(os.path.abspath(path))
     default_name = os.path.splitext(os.path.basename(path))[0]
     return parse_manifest(doc, base_dir=base_dir, default_name=default_name)
+
+
+def jobspec_to_doc(spec: JobSpec) -> dict:
+    """Serialize a parsed :class:`JobSpec` back into a manifest document.
+
+    The distributed tier's coordinator ships the job to its workers over
+    HTTP as exactly this document; :func:`parse_manifest` round-trips it, so
+    workers validate through the same single path the CLI and the batch
+    runner use.  Raw-file paths stay manifest-relative — the worker receives
+    the coordinator's ``base_dir`` alongside the document.
+
+    >>> spec = parse_manifest({
+    ...     "job": {"name": "demo", "eb": 1e-3},
+    ...     "fields": [{"name": "rho", "dataset": "nyx", "shape": [8, 8, 8],
+    ...                 "hot": True}],
+    ... })
+    >>> respec = parse_manifest(jobspec_to_doc(spec))
+    >>> respec.fields == spec.fields and respec.name == spec.name
+    True
+    >>> respec.fields[0].hot
+    True
+    """
+    job: dict = {
+        "name": spec.name,
+        "eb": spec.eb,
+        "mode": spec.mode,
+        "executor": spec.executor,
+        "workers": spec.workers,
+    }
+    if spec.tiles is not None:
+        job["tiles"] = list(spec.tiles)
+    if spec.pipeline is not None:
+        job["pipeline"] = spec.pipeline
+    fields = []
+    for f in spec.fields:
+        doc: dict = {"name": f.name}
+        if f.dataset is not None:
+            doc["dataset"] = f.dataset
+        if f.path is not None:
+            doc["path"] = f.path
+        if f.shape is not None:
+            doc["shape"] = list(f.shape)
+        if f.seed:
+            doc["seed"] = f.seed
+        for key in ("eb", "mode", "codec", "pipeline"):
+            value = getattr(f, key)
+            if value is not None:
+                doc[key] = value
+        if f.tiles is not None:
+            doc["tiles"] = list(f.tiles)
+        if f.timesteps != 1:
+            doc["timesteps"] = f.timesteps
+        if f.temporal:
+            doc["temporal"] = True
+        if f.hot:
+            doc["hot"] = True
+        fields.append(doc)
+    return {"job": job, "fields": fields}
 
 
 def _loads_json(raw: bytes, path: str) -> dict:

@@ -42,7 +42,7 @@ from ..metrics.error import max_abs_error, psnr
 from .archive import ArchiveStore
 from .manifest import FieldSpec, JobSpec, resolve_field_path
 
-__all__ = ["BatchRunner", "BatchReport", "FieldResult", "REPORT_SCHEMA"]
+__all__ = ["BatchRunner", "BatchReport", "FieldResult", "REPORT_SCHEMA", "estimate_field_cost"]
 
 REPORT_SCHEMA = "repro.batch-report/1"
 
@@ -126,6 +126,23 @@ class BatchReport:
 # Per-field job, module-level so the "processes" executor can pickle it.
 # Returns (FieldResult, payload, stream_info) — the parent owns the archive.
 # --------------------------------------------------------------------------
+
+
+def estimate_field_cost(job: JobSpec, spec: FieldSpec) -> float:
+    """Per-field work estimate in elements — the LPT scheduling weight.
+
+    Shared by :class:`BatchRunner` and the cluster coordinator so single-node
+    and distributed runs hand out the same largest-first order.
+    """
+    shape = spec.shape
+    if shape is None and spec.dataset is not None:
+        shape = get_info(spec.dataset).default_shape
+    if shape is not None:
+        return float(np.prod(shape)) * spec.timesteps
+    try:
+        return os.path.getsize(job.resolve_path(spec)) / 4.0
+    except OSError:
+        return 0.0
 
 
 def _load_field(spec: FieldSpec, base_dir: str, seed_offset: int = 0) -> np.ndarray:
@@ -267,15 +284,7 @@ class BatchRunner:
     # ------------------------------------------------------------- scheduling
     def _estimate_cost(self, spec: FieldSpec) -> float:
         """Per-field work estimate in elements (feeds the LPT makespan model)."""
-        shape = spec.shape
-        if shape is None and spec.dataset is not None:
-            shape = get_info(spec.dataset).default_shape
-        if shape is not None:
-            return float(np.prod(shape)) * spec.timesteps
-        try:
-            return os.path.getsize(self.spec.resolve_path(spec)) / 4.0
-        except OSError:
-            return 0.0
+        return estimate_field_cost(self.spec, spec)
 
     # -------------------------------------------------------------------- run
     def run(self) -> BatchReport:

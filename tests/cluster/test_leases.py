@@ -1,0 +1,200 @@
+"""Lease state machine: unit behavior + seeded random-schedule properties.
+
+The property suite drives :class:`LeaseBoard` through randomized worker
+join/leave/SIGKILL schedules on a simulated clock and asserts the two
+invariants the distributed tier sells (ISSUE satellite):
+
+* every field is acked (lands in ``done``) exactly once, and
+* ``len(board.reassignments)`` equals the number of lease expirations.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.leases import LeaseBoard
+
+FIELDS = [("a", 50.0), ("b", 10.0), ("c", 100.0), ("d", 10.0), ("e", 1.0)]
+
+
+class TestLeaseBoardBasics:
+    def test_lpt_order_largest_first(self):
+        board = LeaseBoard(FIELDS, ttl_s=10.0)
+        order = [board.lease("w", now=0.0).field for _ in range(5)]
+        assert order == ["c", "a", "b", "d", "e"]  # cost desc, ties by name
+
+    def test_empty_queue_returns_none_until_drained(self):
+        board = LeaseBoard([("a", 1.0)], ttl_s=10.0)
+        lease = board.lease("w", now=0.0)
+        assert board.lease("w", now=0.0) is None
+        assert not board.drained  # in flight, not done
+        assert board.ack(lease.lease_id, now=1.0) == "ok"
+        assert board.drained
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            LeaseBoard([("a", 1.0), ("a", 2.0)])
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(ValueError, match="ttl_s"):
+            LeaseBoard(FIELDS, ttl_s=0.0)
+
+    def test_unknown_lease_ack(self):
+        board = LeaseBoard(FIELDS, ttl_s=10.0)
+        assert board.ack("L999", now=0.0) == "unknown"
+
+    def test_failed_status_recorded(self):
+        board = LeaseBoard([("a", 1.0)], ttl_s=10.0)
+        lease = board.lease("w", now=0.0)
+        assert board.ack(lease.lease_id, now=1.0, status="failed") == "ok"
+        assert board.done["a"].status == "failed"
+        assert board.counts()["failed"] == 1
+
+
+class TestExpiryAndRequeue:
+    def test_expired_lease_requeues_at_front(self):
+        board = LeaseBoard(FIELDS, ttl_s=5.0)
+        lease = board.lease("w0", now=0.0)  # takes "c"
+        assert [e.field for e in board.expire(now=6.0)] == ["c"]
+        # "c" must come back before the untouched tail of the queue.
+        assert board.lease("w1", now=6.0).field == "c"
+        assert len(board.reassignments) == 1
+        assert board.reassignments[0]["worker"] == "w0"
+        assert board.reassignments[0]["lease_id"] == lease.lease_id
+
+    def test_heartbeat_renews_all_of_a_workers_leases(self):
+        board = LeaseBoard(FIELDS, ttl_s=5.0)
+        board.lease("w0", now=0.0)
+        board.lease("w0", now=0.0)
+        board.lease("w1", now=0.0)
+        assert board.heartbeat("w0", now=4.0) == 2
+        expired = board.expire(now=6.0)  # only w1's lease lapses
+        assert [e.worker for e in expired] == ["w1"]
+
+    def test_late_ack_after_expiry_counts_once(self):
+        board = LeaseBoard([("a", 1.0)], ttl_s=5.0)
+        lease = board.lease("w0", now=0.0)
+        board.expire(now=6.0)  # requeued
+        assert board.ack(lease.lease_id, now=7.0) == "late"
+        assert board.done["a"].late
+        # The requeued copy must not be granted again.
+        assert board.lease("w1", now=7.0) is None
+        assert board.drained
+
+    def test_late_ack_loses_to_completed_regrant(self):
+        board = LeaseBoard([("a", 1.0)], ttl_s=5.0)
+        stale = board.lease("w0", now=0.0)
+        board.expire(now=6.0)
+        fresh = board.lease("w1", now=6.0)
+        assert board.ack(fresh.lease_id, now=7.0) == "ok"
+        assert board.ack(stale.lease_id, now=8.0) == "duplicate"
+        assert board.done["a"].worker == "w1"
+        assert board.duplicate_acks == 1
+
+    def test_regrant_after_late_ack_is_duplicate(self):
+        board = LeaseBoard([("a", 1.0)], ttl_s=5.0)
+        stale = board.lease("w0", now=0.0)
+        board.expire(now=6.0)
+        fresh = board.lease("w1", now=6.0)  # re-granted before the late ack
+        assert board.ack(stale.lease_id, now=7.0) == "late"
+        assert board.ack(fresh.lease_id, now=8.0) == "duplicate"
+        assert board.done["a"].worker == "w0"
+
+    def test_expire_is_idempotent_per_expiration(self):
+        board = LeaseBoard([("a", 1.0)], ttl_s=5.0)
+        board.lease("w0", now=0.0)
+        assert len(board.expire(now=6.0)) == 1
+        assert board.expire(now=7.0) == []  # nothing left to expire
+        assert len(board.reassignments) == 1
+
+
+def _random_schedule(seed: int, n_fields: int, n_workers: int):
+    """One randomized run: workers join/leave/die, leases expire, acks race.
+
+    Returns (board, expirations) after driving the schedule to drain.
+    """
+    rng = random.Random(seed)
+    fields = [(f"f{i}", float(rng.randrange(1, 1000))) for i in range(n_fields)]
+    board = LeaseBoard(fields, ttl_s=float(rng.choice([2, 5, 10])))
+    now = 0.0
+    alive = {f"w{i}" for i in range(n_workers)}
+    held: dict[str, list] = {w: [] for w in alive}
+    stale: list = []  # leases held by SIGKILLed workers (acks never arrive)
+    expirations = 0
+    for _step in range(10_000):
+        if board.drained:
+            break
+        now += rng.random() * board.ttl_s
+        action = rng.random()
+        if action < 0.10 and len(alive) > 1:  # SIGKILL: leases leak until expiry
+            victim = rng.choice(sorted(alive))
+            alive.discard(victim)
+            stale.extend(held.pop(victim))
+        elif action < 0.15:  # a new worker joins (or a dead one restarts)
+            name = f"w{rng.randrange(100)}"
+            alive.add(name)
+            held.setdefault(name, [])
+        elif action < 0.45:  # someone finishes a field
+            candidates = [w for w in alive if held[w]]
+            if candidates:
+                worker = rng.choice(sorted(candidates))
+                lease = held[worker].pop(rng.randrange(len(held[worker])))
+                board.ack(lease.lease_id, now, status=rng.choice(["ok", "ok", "failed"]))
+        elif action < 0.55 and stale:  # a "dead" worker's ack arrives anyway
+            lease = stale.pop(rng.randrange(len(stale)))
+            board.ack(lease.lease_id, now)
+        elif action < 0.75:  # someone pulls work
+            worker = rng.choice(sorted(alive))
+            lease = board.lease(worker, now)
+            if lease is not None:
+                held[worker].append(lease)
+        elif action < 0.85:  # a worker heartbeats
+            board.heartbeat(rng.choice(sorted(alive)), now)
+        else:  # the sweeper runs
+            expirations += len(board.expire(now))
+        # Safety: anything held by a live worker past TTL can also expire.
+        if rng.random() < 0.3:
+            expired = board.expire(now)
+            expirations += len(expired)
+            for w in held:
+                held[w] = [h for h in held[w] if h not in expired]
+    # Drain the tail deterministically: one surviving worker finishes up.
+    for _ in range(10 * n_fields):
+        if board.drained:
+            break
+        now += board.ttl_s + 1.0
+        expirations += len(board.expire(now))
+        lease = board.lease("finisher", now)
+        if lease is not None:
+            board.ack(lease.lease_id, now)
+    return board, expirations
+
+
+class TestLeaseProperties:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_exactly_once_and_reassignment_accounting(self, seed):
+        board, expirations = _random_schedule(seed, n_fields=17, n_workers=4)
+        assert board.drained, f"seed {seed}: schedule did not drain"
+        # Exactly-once: every field is done, none granted or pending.
+        assert sorted(board.done) == sorted(board.costs)
+        assert board.pending == [] and board.leased == []
+        # Reassignment ledger matches observed expirations one-to-one.
+        assert len(board.reassignments) == expirations
+        # No field was recorded done twice (dict keys prove uniqueness; the
+        # duplicate counter proves racing acks were rejected, not merged).
+        assert all(rec.field == name for name, rec in board.done.items())
+
+    @pytest.mark.parametrize("seed", [101, 202, 303])
+    def test_single_worker_no_expiry_means_no_reassignments(self, seed):
+        rng = random.Random(seed)
+        fields = [(f"f{i}", float(rng.randrange(1, 100))) for i in range(9)]
+        board = LeaseBoard(fields, ttl_s=1000.0)
+        now = 0.0
+        while not board.drained:
+            now += 1.0
+            lease = board.lease("solo", now)
+            assert lease is not None
+            board.ack(lease.lease_id, now)
+        assert board.reassignments == []
+        assert board.duplicate_acks == 0
+        assert {rec.worker for rec in board.done.values()} == {"solo"}

@@ -1,0 +1,203 @@
+"""ShardSet: routing, coverage accounting, lost-shard fallback, replication."""
+
+import numpy as np
+import pytest
+
+from repro import CuszHi
+from repro.cluster.shards import REPLICA_KEY, ShardSet
+from repro.core.streaming import StreamReader, StreamWriter
+from repro.datasets import load
+from repro.service import ArchiveError, ArchiveStore
+
+FIELDS = {
+    "nyx-a": ("nyx", (16, 16, 16), 1),
+    "nyx-b": ("nyx", (14, 14, 14), 2),
+    "miranda-c": ("miranda", (12, 16, 16), 3),
+}
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    comp = CuszHi(mode="cr")
+    out = {}
+    for name, (dataset, shape, seed) in FIELDS.items():
+        data = load(dataset, shape=shape, seed=seed)
+        out[name] = (comp.compress(data, 1e-3), data)
+    return out
+
+
+@pytest.fixture()
+def shard_paths(tmp_path, blobs):
+    """Three shards: s0 holds nyx-a + nyx-b, s1 holds miranda-c, s2 empty."""
+    paths = [str(tmp_path / f"s{i}.rpza") for i in range(3)]
+    with ArchiveStore(paths[0], mode="w") as arch:
+        arch.add_blob("nyx-a", blobs["nyx-a"][0], meta={"worker": "w0"})
+        arch.add_blob("nyx-b", blobs["nyx-b"][0], meta={"worker": "w0"})
+    with ArchiveStore(paths[1], mode="w") as arch:
+        arch.add_blob("miranda-c", blobs["miranda-c"][0], meta={"worker": "w1"})
+    with ArchiveStore(paths[2], mode="w"):
+        pass  # a worker that never won a lease still leaves a valid shard
+    return paths
+
+
+class TestRouting:
+    def test_merged_names_and_locations(self, shard_paths):
+        with ShardSet(shard_paths) as shards:
+            assert shards.names() == ["miranda-c", "nyx-a", "nyx-b"]
+            assert shards.locations("nyx-a") == [shard_paths[0]]
+            assert shards.locations("miranda-c") == [shard_paths[1]]
+            assert shards.locations("ghost") == []
+
+    def test_reads_route_to_owning_shard(self, shard_paths, blobs):
+        with ShardSet(shard_paths) as shards:
+            for name, (_blob, data) in blobs.items():
+                entry = shards.entry(name)
+                recon = shards.get(name)
+                assert recon.shape == data.shape
+                assert np.abs(data.astype(np.float64) - recon).max() <= entry.eb_abs
+            assert shards.get_blob("nyx-a").to_bytes() == blobs["nyx-a"][0].to_bytes()
+
+    def test_unknown_entry_names_readable_and_lost_shards(self, shard_paths):
+        with ShardSet(shard_paths) as shards:
+            with pytest.raises(ArchiveError, match="no shard holds"):
+                shards.read_bytes("ghost")
+
+    def test_needs_at_least_one_path(self):
+        with pytest.raises(ArchiveError, match="at least one"):
+            ShardSet([])
+
+
+class TestCoverage:
+    def test_missing_against_manifest(self, shard_paths):
+        with ShardSet(shard_paths) as shards:
+            assert shards.missing(["nyx-a", "zeta", "alpha"]) == ["alpha", "zeta"]
+            assert shards.verify(expected=["nyx-a", "zeta"]) == ["missing everywhere: zeta"]
+
+    def test_untagged_duplicate_is_flagged(self, shard_paths, blobs):
+        # Two workers both computed nyx-a: exactly-once broke, verify says so.
+        with ArchiveStore(shard_paths[2], mode="a") as arch:
+            arch.add_blob("nyx-a", blobs["nyx-a"][0], meta={"worker": "w2"})
+        with ShardSet(shard_paths) as shards:
+            assert shards.duplicates() == {"nyx-a": [shard_paths[0], shard_paths[2]]}
+            assert any("primary copy in 2 shards" in p for p in shards.verify())
+
+    def test_clean_set_verifies_empty(self, shard_paths):
+        with ShardSet(shard_paths) as shards:
+            assert shards.verify(expected=list(FIELDS), deep=True) == []
+
+
+class TestLostShard:
+    def test_unreadable_shard_is_a_problem_not_a_crash(self, shard_paths, blobs):
+        with open(shard_paths[1], "r+b") as fh:  # stomp the header/magic
+            fh.write(b"\x00" * 16)
+        with ShardSet(shard_paths) as shards:
+            assert list(shards.errors) == [shard_paths[1]]
+            # Surviving shards still serve their fields...
+            assert shards.get("nyx-a").shape == blobs["nyx-a"][1].shape
+            # ...the lost shard's field is named in coverage problems...
+            problems = shards.verify(expected=list(FIELDS))
+            assert any("unreadable shard" in p for p in problems)
+            assert "missing everywhere: miranda-c" in problems
+            # ...and a direct read fails loudly, naming the lost shard.
+            with pytest.raises(ArchiveError, match="lost.*s1"):
+                shards.get("miranda-c")
+
+
+class TestReplicate:
+    def test_replicas_spread_tagged_and_survive_shard_loss(self, shard_paths, blobs):
+        with ShardSet(shard_paths) as shards:
+            placement = shards.replicate(["nyx-a", "miranda-c"], k=2)
+            raw = {n: shards.read_bytes(n) for n in placement}
+        assert len(placement["nyx-a"]) == 2 and placement["nyx-a"][0] == shard_paths[0]
+        assert len(placement["miranda-c"]) == 2
+        # Copies went to distinct shards, spreading to the emptiest first.
+        assert placement["nyx-a"][1] != placement["miranda-c"][1] or shard_paths[2] in (
+            placement["nyx-a"][1],
+            placement["miranda-c"][1],
+        )
+        with ShardSet(shard_paths) as shards:
+            entry = shards.stores[placement["nyx-a"][1]].entry("nyx-a")
+            assert entry.meta[REPLICA_KEY] == "s0.rpza"
+            assert shards.duplicates() == {}  # replicas never read as duplicates
+            assert shards.verify(expected=list(FIELDS)) == []
+        # The replication guarantee: lose the home shard, reads still work
+        # and return byte-identical payloads.
+        import os
+
+        os.unlink(shard_paths[0])
+        surviving = [p for p in shard_paths if p != shard_paths[0]]
+        with ShardSet(surviving) as shards:
+            assert shards.read_bytes("nyx-a") == raw["nyx-a"]
+            recon = shards.get("nyx-a")
+            data = blobs["nyx-a"][1]
+            assert np.abs(data.astype(np.float64) - recon).max() <= 1e-3 * np.ptp(data)
+
+    def test_corrupt_primary_falls_back_to_replica(self, shard_paths, blobs):
+        with ShardSet(shard_paths) as shards:
+            shards.replicate(["nyx-a"], k=2)
+            entry = shards.stores[shard_paths[0]].entry("nyx-a")
+            offset, nbytes = entry.offset, entry.nbytes
+        with open(shard_paths[0], "r+b") as fh:  # rot one payload byte
+            fh.seek(offset + nbytes // 2)
+            rotted = fh.read(1)[0] ^ 0x40
+            fh.seek(offset + nbytes // 2)
+            fh.write(bytes([rotted]))
+        with ShardSet(shard_paths) as shards:
+            # get_blob validates the container checksum, detects the rot in
+            # the primary, and silently serves the replica instead.
+            assert shards.get_blob("nyx-a").to_bytes() == blobs["nyx-a"][0].to_bytes()
+
+    def test_degraded_placement_when_k_exceeds_shards(self, shard_paths):
+        with ShardSet(shard_paths) as shards:
+            placement = shards.replicate(["nyx-b"], k=5)
+            # As wide as possible (3 shards), short of k — degraded, not fatal.
+            assert sorted(placement["nyx-b"]) == sorted(shard_paths)
+            assert shards.verify(expected=list(FIELDS)) == []
+
+    def test_replicate_is_idempotent(self, shard_paths):
+        with ShardSet(shard_paths) as shards:
+            first = shards.replicate(["nyx-a"], k=2)
+            again = shards.replicate(["nyx-a"], k=2)
+            assert first == again
+
+    def test_replicate_unknown_field_raises(self, shard_paths):
+        with ShardSet(shard_paths) as shards:
+            with pytest.raises(ArchiveError, match="no shard holds"):
+                shards.replicate(["ghost"], k=2)
+
+    def test_bad_k_rejected(self, shard_paths):
+        with ShardSet(shard_paths) as shards:
+            with pytest.raises(ArchiveError, match="replication factor"):
+                shards.replicate(["nyx-a"], k=0)
+
+    def test_stream_entries_replicate_and_decode(self, shard_paths):
+        # Temporal streams go through add_stream, not add_blob — the replica
+        # must keep kind/shape/timesteps so readers decode it transparently.
+        snaps = [load("rtm", shape=(12, 12, 12), seed=9 + t) for t in range(3)]
+        writer = StreamWriter(eb=1e-3, temporal=True)
+        for snap in snaps:
+            writer.append(snap)
+        payload = writer.getvalue()
+        with ArchiveStore(shard_paths[2], mode="a") as arch:
+            arch.add_stream(
+                "rtm-s",
+                payload,
+                shape=snaps[0].shape,
+                dtype=snaps[0].dtype,
+                eb_abs=float(writer._abs_eb),
+                timesteps=3,
+                meta={"worker": "w2"},
+            )
+        with ShardSet(shard_paths) as shards:
+            placement = shards.replicate(["rtm-s"], k=2)
+            other = placement["rtm-s"][1]
+            entry = shards.stores[other].entry("rtm-s")
+            assert entry.kind == "stream" and entry.timesteps == 3
+            assert shards.read_bytes("rtm-s") == payload
+        import os
+
+        os.unlink(shard_paths[2])
+        with ShardSet([shard_paths[0], shard_paths[1]]) as shards:
+            frames = list(StreamReader(shards.read_bytes("rtm-s")))
+            assert len(frames) == 3
+            assert np.abs(frames[0].astype(np.float64) - snaps[0]).max() <= writer._abs_eb

@@ -85,6 +85,35 @@ class TestParse:
         spec = parse_manifest({"fields": [{"name": "x", "dataset": "nyx"}]})
         assert spec.eb == 1e-3 and spec.mode == "cr" and spec.executor == "serial"
         assert spec.fields[0].eb is None  # falls back to the job default at run time
+        assert spec.fields[0].hot is False
+
+    def test_hot_replication_hint(self):
+        spec = parse_manifest(
+            {
+                "fields": [
+                    {"name": "x", "dataset": "nyx", "hot": True},
+                    {"name": "y", "dataset": "nyx"},
+                ]
+            }
+        )
+        assert [f.hot for f in spec.fields] == [True, False]
+
+    def test_jobspec_roundtrips_through_doc(self, tmp_path):
+        # The coordinator ships jobspec_to_doc(spec) over HTTP and workers
+        # re-parse it; the round trip must preserve every knob, hot included.
+        from repro.service import jobspec_to_doc
+
+        path = tmp_path / "job.json"
+        doc = _json_doc()
+        doc["fields"][0]["hot"] = True
+        doc["fields"][0]["eb"] = 1e-4
+        path.write_text(json.dumps(doc))
+        spec = load_manifest(str(path))
+        respec = parse_manifest(jobspec_to_doc(spec), base_dir=spec.base_dir)
+        assert jobspec_to_doc(respec) == jobspec_to_doc(spec)
+        assert respec.base_dir == spec.base_dir
+        assert respec.fields[0].hot and respec.fields[0].eb == 1e-4
+        assert not respec.fields[1].hot
 
 
 class TestValidation:

@@ -1,4 +1,4 @@
-"""repro.client: backoff math, retry semantics, deadlines, counters."""
+"""repro.client: backoff math, retry semantics, deadlines, keep-alive, counters."""
 
 import asyncio
 import threading
@@ -37,12 +37,58 @@ class _ScriptedHandler(BaseHTTPRequestHandler):
         pass
 
 
-@pytest.fixture()
-def scripted_server():
-    server = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+class _KeepAliveHandler(_ScriptedHandler):
+    """HTTP/1.1 persistent connections; counts TCP accepts on the server."""
+
+    protocol_version = "HTTP/1.1"
+
+    def setup(self):
+        super().setup()
+        self.server.connections += 1  # type: ignore[attr-defined]
+
+
+class _FlakyKeepAliveHandler(_KeepAliveHandler):
+    """Advertises keep-alive but hangs up after every response — the
+    stale-cached-connection scenario the client must replay through."""
+
+    def _flaky_serve(self):
+        self._serve()
+        self.close_connection = True
+
+    # Rebind: the parent's do_GET aliases its own _serve directly.
+    do_GET = do_POST = _flaky_serve
+
+
+def _serve_in_thread(handler):
+    server = ThreadingHTTPServer(("127.0.0.1", 0), handler)
     server.script = []  # type: ignore[attr-defined]
+    server.connections = 0  # type: ignore[attr-defined]
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
+    return server, thread
+
+
+@pytest.fixture()
+def scripted_server():
+    server, thread = _serve_in_thread(_ScriptedHandler)
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture()
+def keepalive_server():
+    server, thread = _serve_in_thread(_KeepAliveHandler)
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture()
+def flaky_keepalive_server():
+    server, thread = _serve_in_thread(_FlakyKeepAliveHandler)
     yield server
     server.shutdown()
     server.server_close()
@@ -100,7 +146,9 @@ class TestSyncRetries:
         client = _client(scripted_server, max_attempts=5)
         resp = client.get("/healthz")
         assert resp.status == 200 and resp.body == b"ok"
-        assert client.stats == {"requests": 1, "retries": 2, "gave_up": 0}
+        # The scripted server speaks HTTP/1.0 (Connection: close), so every
+        # attempt pays a fresh connect — hence conn_opens == attempts.
+        assert client.stats == {"requests": 1, "retries": 2, "gave_up": 0, "conn_opens": 3}
 
     def test_retries_429_too(self, scripted_server):
         scripted_server.script[:] = [(429, {"Retry-After": "0"}, b"busy")]
@@ -120,7 +168,7 @@ class TestSyncRetries:
         resp = client.get("/stats")
         # No exception: the caller gets the final 503 to record, plus counters.
         assert resp.status == 503 and resp.body == b"still draining"
-        assert client.stats == {"requests": 1, "retries": 2, "gave_up": 1}
+        assert client.stats == {"requests": 1, "retries": 2, "gave_up": 1, "conn_opens": 3}
 
     def test_non_retryable_status_returned_immediately(self, scripted_server):
         scripted_server.script[:] = [(404, {}, b"nope"), (200, {}, b"never reached")]
@@ -153,7 +201,7 @@ class TestSyncRetries:
         # loop stops after the first attempt instead of sleeping through it.
         assert resp.status == 503
         assert time.monotonic() - t0 < 1.0
-        assert client.stats == {"requests": 1, "retries": 0, "gave_up": 1}
+        assert client.stats == {"requests": 1, "retries": 0, "gave_up": 1, "conn_opens": 1}
 
     def test_injected_conn_reset_is_retried(self, scripted_server):
         plan = FaultPlan([FaultSpec("client.request", "conn-reset", at=1)], seed=3)
@@ -162,6 +210,50 @@ class TestSyncRetries:
             resp = client.get("/healthz")
         assert resp.status == 200
         assert client.stats["retries"] == 1
+
+
+class TestKeepAlive:
+    """The satellite regression suite: sequential requests reuse one socket."""
+
+    def test_sequential_requests_reuse_one_connection(self, keepalive_server):
+        client = _client(keepalive_server)
+        for _ in range(5):
+            assert client.get("/healthz").status == 200
+        assert client.stats == {"requests": 5, "retries": 0, "gave_up": 0, "conn_opens": 1}
+        # Server-side proof: five requests, one TCP accept.
+        assert keepalive_server.connections == 1
+        client.close()
+
+    def test_close_drops_cached_connection(self, keepalive_server):
+        client = _client(keepalive_server)
+        with client:
+            assert client.get("/x").status == 200
+        assert client.get("/y").status == 200  # reopens transparently
+        assert client.stats["conn_opens"] == 2
+        assert keepalive_server.connections == 2
+
+    def test_http10_server_degrades_to_per_request_connections(self, scripted_server):
+        client = _client(scripted_server)
+        for _ in range(3):
+            assert client.get("/healthz").status == 200
+        assert client.stats["conn_opens"] == 3
+
+    def test_stale_cached_connection_is_replayed_not_retried(self, flaky_keepalive_server):
+        # The server advertises keep-alive but hangs up after each response;
+        # writing to the stale socket must replay on a fresh connection
+        # inside the same attempt — no retry, no RetriesExhausted.
+        client = _client(flaky_keepalive_server, max_attempts=1)
+        for _ in range(4):
+            assert client.get("/healthz").status == 200
+        assert client.stats["requests"] == 4
+        assert client.stats["retries"] == 0
+        assert client.stats["conn_opens"] == 4
+
+    def test_retry_counters_still_work_over_keepalive(self, keepalive_server):
+        keepalive_server.script[:] = [(503, {}, b"drain")]
+        client = _client(keepalive_server, max_attempts=3)
+        assert client.get("/stats").status == 200
+        assert client.stats == {"requests": 1, "retries": 1, "gave_up": 0, "conn_opens": 1}
 
 
 class TestAsyncClient:
@@ -175,7 +267,7 @@ class TestAsyncClient:
         client = self._async_client(scripted_server, max_attempts=4)
         resp = asyncio.run(client.post("/compress", b"body"))
         assert resp.status == 200 and resp.body == b"ok"
-        assert client.stats == {"requests": 1, "retries": 1, "gave_up": 0}
+        assert client.stats == {"requests": 1, "retries": 1, "gave_up": 0, "conn_opens": 2}
 
     def test_transport_failure_raises(self):
         import socket
